@@ -1,0 +1,90 @@
+"""Fig. 11 reproduction: job submission and resource availability.
+
+The paper's figure plots queued jobs against allocated Condor execution
+instances for both runs. These benches regenerate the two panels, print them
+as text charts, and assert the qualitative features the paper calls out:
+
+* two staggered queue spikes (one per seed-job completion);
+* dedicated: a flat 16-node line;
+* elastic: "a small delay can be observed between increases in the number of
+  jobs in queue, and the increase in Condor execution services" and
+  "a complete deallocation as these jobs complete".
+"""
+
+import pytest
+
+from repro.experiments import extract_series, render_run
+
+
+def _spike_starts(series, jump=100.0, window_s=120.0, spacing_s=600.0):
+    """Times of sudden queue build-ups: the value rose by ≥ ``jump`` within
+    ``window_s``. Batch submissions enqueue ~200 jobs near-instantly, so each
+    shows up as one spike; ``spacing_s`` separates distinct spikes (the
+    queue need not drain to zero between the two batches)."""
+    spikes = []
+    for t, v in series.steps():
+        if spikes and t - spikes[-1] < spacing_s:
+            continue
+        if v - series.value_at(max(t - window_s, series.times[0])) >= jump:
+            spikes.append(t)
+    return spikes
+
+
+def test_fig11_dedicated(benchmark, dedicated_run):
+    result = benchmark.pedantic(lambda: dedicated_run, rounds=1, iterations=1)
+    print("\n" + render_run(result, width=72))
+
+    # Flat 16-node availability line.
+    assert result.nodes_series.maximum() == 16
+    samples = result.nodes_series.sample(result.run_start, result.run_end, 300)
+    assert all(v == 16 for _, v in samples)
+
+    # Two staggered batch spikes.
+    spikes = _spike_starts(result.queue_series)
+    assert len(spikes) == 2
+    assert spikes[1] - spikes[0] > 600  # visibly staggered
+
+    # Queue fully drained by the end.
+    assert result.queue_series.current == 0
+
+
+def test_fig11_elastic(benchmark, elastic_run):
+    result = benchmark.pedantic(lambda: elastic_run, rounds=1, iterations=1)
+    print("\n" + render_run(result, width=72))
+
+    # Two staggered batch spikes, as in the dedicated chart.
+    spikes = _spike_starts(result.queue_series)
+    assert len(spikes) == 2
+
+    # Scale-up lag: the instance ramp to full size completes only after the
+    # first queue spike began.
+    full_at = next(t for t, v in result.nodes_series.steps() if v >= 16)
+    assert full_at > spikes[0]
+
+    # Bootstrap phase: a small cluster carries the seeds before the first
+    # spike. (A brief overshoot right at bootstrap is expected — the
+    # instances KPI is 30 s stale, so the bootstrap rule can fire a few
+    # extra times before the scale-down rule trims back; the time-averaged
+    # seed-phase allocation stays small.)
+    pre_spike_mean = result.nodes_series.mean(result.run_start, spikes[0])
+    assert pre_spike_mean < 4
+    assert result.nodes_series.value_at(spikes[0] - 1) <= 3
+
+    # Complete deallocation at the end.
+    assert result.nodes_series.current == 0
+    assert result.shutdown_time_s is not None
+
+
+def test_fig11_series_export(benchmark, elastic_run, dedicated_run):
+    """The figure's underlying series export on a regular grid."""
+    benchmark.pedantic(extract_series, args=(elastic_run,),
+                       kwargs={"period_s": 60.0}, rounds=1, iterations=1)
+    for run in (dedicated_run, elastic_run):
+        series = extract_series(run, period_s=60.0)
+        assert len(series.times) > 100
+        assert len(series.times) == len(series.queued) == len(series.instances)
+        assert max(series.queued) > 150        # the 200-job batches
+        assert max(series.instances) == 16
+        # grid is uniform
+        gaps = {round(b - a, 6) for a, b in zip(series.times, series.times[1:])}
+        assert gaps == {60.0}

@@ -1,0 +1,149 @@
+"""Micro-benchmarks of the hot paths.
+
+Unlike the experiment benches (one deterministic run each), these exercise
+small operations repeatedly under pytest-benchmark's measurement loop:
+kernel event throughput, the XDR codec, DHT routing, expression evaluation
+and rule-engine passes — the operations whose cost bounds how large a
+simulated cloud the harness can drive.
+"""
+
+import pytest
+
+from repro.core.manifest import parse_expression
+from repro.monitoring import (
+    DHTRing,
+    Measurement,
+    decode_measurement,
+    encode_measurement,
+)
+from repro.sim import Environment
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run 10k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(100):
+                yield env.timeout(1)
+
+        for _ in range(100):
+            env.process(ticker(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 100.0
+
+
+def test_kernel_process_spawn(benchmark):
+    """Spawn 1k short-lived processes."""
+
+    def run():
+        env = Environment()
+
+        def short(env):
+            yield env.timeout(1)
+
+        for _ in range(1000):
+            env.process(short(env))
+        env.run()
+
+    benchmark(run)
+
+
+_MEASUREMENT = Measurement(
+    qualified_name="uk.ucl.condor.schedd.queuesize",
+    service_id="polymorph-1", probe_id="probe-7",
+    timestamp=1234.5, values=(42, 3.25, "busy", True), seqno=17,
+)
+_PACKET = encode_measurement(_MEASUREMENT)
+
+
+def test_codec_encode(benchmark):
+    assert benchmark(encode_measurement, _MEASUREMENT) == _PACKET
+
+
+def test_codec_decode(benchmark):
+    assert benchmark(decode_measurement, _PACKET) == _MEASUREMENT
+
+
+def test_dht_put_get(benchmark):
+    ring = DHTRing(vnodes=32)
+    for i in range(8):
+        ring.join(f"node-{i}")
+    keys = [f"/schema/probe-{i}/name" for i in range(200)]
+
+    def run():
+        for i, key in enumerate(keys):
+            ring.put(key, i)
+        return sum(ring.get(key) for key in keys)
+
+    assert benchmark(run) == sum(range(200))
+
+
+def test_dht_churn(benchmark):
+    """Join/leave cycles with 500 resident keys."""
+
+    def run():
+        ring = DHTRing(vnodes=16)
+        for i in range(4):
+            ring.join(f"base-{i}")
+        for i in range(500):
+            ring.put(f"/k/{i}", i)
+        ring.join("extra")
+        ring.leave("base-0")
+        return len(ring)
+
+    assert benchmark(run) == 500
+
+
+_EXPR = parse_expression(
+    "(@uk.ucl.condor.schedd.queuesize / "
+    "(@uk.ucl.condor.exec.instances.size + 1) > 4) && "
+    "(@uk.ucl.condor.exec.instances.size < 16)"
+)
+_BINDINGS = {
+    "uk.ucl.condor.schedd.queuesize": 200.0,
+    "uk.ucl.condor.exec.instances.size": 5.0,
+}.get
+
+
+def test_expression_evaluation(benchmark):
+    assert benchmark(_EXPR.evaluate, _BINDINGS) == 1.0
+
+
+def test_expression_parse(benchmark):
+    text = _EXPR.unparse()
+    result = benchmark(parse_expression, text)
+    assert result.kpi_references() == _EXPR.kpi_references()
+
+
+def test_rule_engine_evaluation_pass(benchmark):
+    """One evaluateRules() pass over 20 installed rules with live records."""
+    from repro.core.manifest import ElasticityRule
+    from repro.core.service_manager import RuleInterpreter
+
+    env = Environment()
+    interp = RuleInterpreter(env, "svc", executor=lambda a, r: False)
+    for i in range(20):
+        interp.install(ElasticityRule.from_text(
+            f"rule-{i}", f"(@kpi.stream{i} > {i * 10}) && (@kpi.other < 5)",
+            "notify()", defaults={f"kpi.stream{i}": 0, "kpi.other": 0}))
+    for i in range(20):
+        interp.notify(Measurement(f"kpi.stream{i}", "svc", "p", 0.0, (i,)))
+
+    benchmark(interp.evaluate_rules)
+
+
+def test_manifest_xml_round_trip(benchmark):
+    from repro.experiments import TestbedConfig, polymorph_manifest
+    from repro.core.manifest import manifest_from_xml, manifest_to_xml
+
+    manifest = polymorph_manifest(TestbedConfig())
+
+    def round_trip():
+        return manifest_from_xml(manifest_to_xml(manifest))
+
+    assert benchmark(round_trip) == manifest

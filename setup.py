@@ -1,0 +1,21 @@
+"""Classic setup.py kept so `pip install -e .` works offline.
+
+The environment has no `wheel` package and no network access, so PEP 660
+editable installs (which require bdist_wheel) are unavailable; the legacy
+setup.py develop path needs nothing beyond setuptools.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Software architecture definition for on-demand "
+        "cloud provisioning' (Chapman et al., HPDC 2010 / Cluster Computing "
+        "2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

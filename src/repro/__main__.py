@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``validate <manifest>``
+    Parse a manifest (``.xml`` or textual ``.rsm``) and run the
+    well-formedness rules; exit 1 on errors.
+``convert <manifest> --to {xml,text}``
+    Translate between the two concrete syntaxes (same abstract syntax).
+``generate-agent <manifest> <component>``
+    Emit the §4.2.3 monitoring-agent stub for one ADL component.
+``generate-validator <manifest> <service-id>``
+    Emit the §4.2.3 stand-alone validation-instrument script.
+``table3 [--small]``
+    Run the §6 evaluation (dedicated vs. elastic) and print Table 3.
+``fig11 [--small] [--width N]``
+    Regenerate Fig. 11 as text charts.
+``weekly``
+    Run the §6.1.4 weekly estimate.
+``capacity <manifest> [<manifest> ...] [--hosts N]``
+    Plan provider capacity for a workload mix (§8): hosts needed for the
+    guaranteed floor and the worst-case ceiling; with ``--hosts`` also run
+    admission control over the pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.manifest import (
+    Severity,
+    manifest_from_text,
+    manifest_from_xml,
+    manifest_to_text,
+    manifest_to_xml,
+    validate_manifest,
+)
+
+__all__ = ["main"]
+
+
+def _load_manifest(path: str):
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("<"):
+        return manifest_from_xml(text)
+    return manifest_from_text(text)
+
+
+def _cmd_validate(args) -> int:
+    try:
+        manifest = _load_manifest(args.manifest)
+    except Exception as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 1
+    issues = validate_manifest(manifest)
+    for issue in issues:
+        print(issue)
+    errors = [i for i in issues if i.severity is Severity.ERROR]
+    if errors:
+        print(f"INVALID: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {manifest.service_name} "
+          f"({len(manifest.virtual_systems)} component(s), "
+          f"{len(manifest.elasticity_rules)} rule(s), "
+          f"{len(tuple(manifest.sla))} SLO(s))")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    manifest = _load_manifest(args.manifest)
+    if args.to == "xml":
+        print(manifest_to_xml(manifest))
+    else:
+        print(manifest_to_text(manifest), end="")
+    return 0
+
+
+def _cmd_generate_agent(args) -> int:
+    from .core.codegen import generate_agent_stub
+
+    manifest = _load_manifest(args.manifest)
+    print(generate_agent_stub(manifest, args.component))
+    return 0
+
+
+def _cmd_generate_validator(args) -> int:
+    from .core.codegen import generate_validation_script
+
+    manifest = _load_manifest(args.manifest)
+    print(generate_validation_script(manifest, args.service_id))
+    return 0
+
+
+def _workload(small: bool):
+    from .grid import PolymorphSearchConfig
+
+    if small:
+        return PolymorphSearchConfig(
+            seed_durations_s=(600.0, 900.0), refinements_per_seed=48,
+            refinement_mean_s=90.0, setup_s=20, gather_s=20, generate_s=5)
+    return PolymorphSearchConfig()
+
+
+def _cmd_table3(args) -> int:
+    from .experiments import run_dedicated, run_elastic, table3
+
+    workload = _workload(args.small)
+    print("running dedicated baseline ...", file=sys.stderr)
+    dedicated = run_dedicated(workload)
+    print("running elastic cloud ...", file=sys.stderr)
+    elastic = run_elastic(workload)
+    rows = table3(dedicated, elastic)
+    for key, value in rows.items():
+        if value is None:
+            print(f"{key:<36} N/A")
+        elif key.endswith(("saving", "time")) and abs(value) < 1:
+            print(f"{key:<36} {value * 100:10.2f}%")
+        else:
+            print(f"{key:<36} {value:10.2f}")
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from .experiments import render_run, run_dedicated, run_elastic
+
+    workload = _workload(args.small)
+    for run in (run_dedicated(workload), run_elastic(workload)):
+        print(render_run(run, width=args.width))
+        print()
+    return 0
+
+
+def _cmd_weekly(args) -> int:
+    from .experiments import run_week
+
+    result = run_week()
+    print(f"searches:        {result.search_count}")
+    print(f"busy fraction:   {result.busy_fraction:.3f}")
+    print(f"elastic usage:   {result.elastic_node_seconds / 3600:.1f} "
+          f"node-hours")
+    print(f"dedicated usage: {result.dedicated_node_seconds / 3600:.1f} "
+          f"node-hours")
+    print(f"saving:          {result.saving * 100:.2f}%  (paper: 69.18%)")
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from .cloud import AdmissionController, CapacityError, HostType, plan_capacity
+
+    manifests = [_load_manifest(path) for path in args.manifests]
+    host = HostType(cpu_cores=args.host_cpu, memory_mb=args.host_memory)
+    plan = plan_capacity(manifests, host)
+    print(f"host type: {host.cpu_cores:.0f} cores / "
+          f"{host.memory_mb / 1024:.0f} GB")
+    print(plan.summary())
+    if args.hosts is not None:
+        controller = AdmissionController(args.hosts, host)
+        for manifest, path in zip(manifests, args.manifests):
+            try:
+                controller.admit(manifest)
+                print(f"admit {manifest.service_name} ({path}): OK "
+                      f"(committed ceiling "
+                      f"{controller.committed_plan.hosts_for_ceiling} / "
+                      f"{args.hosts} hosts)")
+            except CapacityError as exc:
+                print(f"admit {manifest.service_name} ({path}): REFUSED — "
+                      f"{exc}")
+                return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On-demand cloud provisioning (RESERVOIR) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="validate a manifest")
+    p.add_argument("manifest")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("convert", help="convert between concrete syntaxes")
+    p.add_argument("manifest")
+    p.add_argument("--to", choices=("xml", "text"), required=True)
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("generate-agent",
+                       help="emit a monitoring-agent stub (§4.2.3)")
+    p.add_argument("manifest")
+    p.add_argument("component")
+    p.set_defaults(func=_cmd_generate_agent)
+
+    p = sub.add_parser("generate-validator",
+                       help="emit a validation-instrument script (§4.2.3)")
+    p.add_argument("manifest")
+    p.add_argument("service_id")
+    p.set_defaults(func=_cmd_generate_validator)
+
+    p = sub.add_parser("table3", help="run the §6 evaluation")
+    p.add_argument("--small", action="store_true",
+                   help="scaled-down workload (fast)")
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("fig11", help="regenerate Fig. 11 text charts")
+    p.add_argument("--small", action="store_true")
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(func=_cmd_fig11)
+
+    p = sub.add_parser("weekly", help="run the §6.1.4 weekly estimate")
+    p.set_defaults(func=_cmd_weekly)
+
+    p = sub.add_parser("capacity",
+                       help="plan provider capacity for a workload mix (§8)")
+    p.add_argument("manifests", nargs="+")
+    p.add_argument("--hosts", type=int, default=None,
+                   help="pool size for admission control")
+    p.add_argument("--host-cpu", type=float, default=4.0)
+    p.add_argument("--host-memory", type=float, default=8192.0)
+    p.set_defaults(func=_cmd_capacity)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Virtual-infrastructure substrate: VEEH hosts, VEEM manager, federation.
+
+The bottom two layers of the RESERVOIR architecture (Fig. 1 of the paper),
+simulated: hosts with hypervisor latencies and image caches
+(:mod:`~repro.cloud.veeh`), VM lifecycle (:mod:`~repro.cloud.vm`), images
+(:mod:`~repro.cloud.images`), virtual networks (:mod:`~repro.cloud.network`),
+placement policies and constraints (:mod:`~repro.cloud.placement`), the VEEM
+(:mod:`~repro.cloud.veem`) and cross-site federation
+(:mod:`~repro.cloud.federation`).
+"""
+
+from .capacity import (
+    AdmissionController,
+    CapacityPlan,
+    DemandEnvelope,
+    HostType,
+    InstanceDemand,
+    demand_envelope,
+    plan_capacity,
+)
+from .errors import (
+    CapacityError,
+    CloudError,
+    ImageError,
+    LifecycleError,
+    NetworkError,
+    PlacementError,
+)
+from .federation import FederatedCloud, Site, SiteConstraint
+from .images import CustomisationDisk, DiskImage, ImageRepository
+from .network import NetworkFabric, VirtualNetwork
+from .placement import (
+    Affinity,
+    AntiAffinity,
+    AttributeRequirement,
+    BestFit,
+    ComponentCap,
+    FirstFit,
+    Placer,
+    PlacementConstraint,
+    PlacementPolicy,
+    RoundRobin,
+    WorstFit,
+)
+from .veeh import Host, HypervisorTimings
+from .veem import VEEM
+from .vm import DeploymentDescriptor, VirtualMachine, VMState
+
+__all__ = [
+    "AdmissionController",
+    "CapacityPlan",
+    "DemandEnvelope",
+    "HostType",
+    "InstanceDemand",
+    "demand_envelope",
+    "plan_capacity",
+    "CapacityError",
+    "CloudError",
+    "ImageError",
+    "LifecycleError",
+    "NetworkError",
+    "PlacementError",
+    "FederatedCloud",
+    "Site",
+    "SiteConstraint",
+    "CustomisationDisk",
+    "DiskImage",
+    "ImageRepository",
+    "NetworkFabric",
+    "VirtualNetwork",
+    "Affinity",
+    "AntiAffinity",
+    "AttributeRequirement",
+    "BestFit",
+    "ComponentCap",
+    "FirstFit",
+    "Placer",
+    "PlacementConstraint",
+    "PlacementPolicy",
+    "RoundRobin",
+    "WorstFit",
+    "Host",
+    "HypervisorTimings",
+    "VEEM",
+    "DeploymentDescriptor",
+    "VirtualMachine",
+    "VMState",
+]

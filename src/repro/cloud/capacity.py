@@ -1,0 +1,200 @@
+"""Provider-side capacity planning and admission control.
+
+§8: "the Cloud provider can plan its capacity more accurately because it
+knows the resource demands of the applications it provides" — the manifest's
+elastic bounds make every service's demand envelope explicit: at least
+``minimum`` and at most ``maximum`` instances of each component, each with
+declared CPU/memory. This module turns a set of manifests into host counts:
+
+* :func:`demand_envelope` — per-component floor/ceiling resource demand;
+* :func:`plan_capacity` — first-fit-decreasing packing of the worst case
+  (and the floor) onto a homogeneous host type, honouring per-host caps;
+* :class:`AdmissionController` — accept a new manifest only if the pool can
+  still host every admitted service's *worst case* simultaneously
+  (guaranteed-capacity admission, the conservative policy a provider who
+  sells firm elasticity bounds must run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.manifest.model import ServiceManifest
+from .errors import CapacityError
+
+__all__ = ["InstanceDemand", "DemandEnvelope", "demand_envelope",
+           "HostType", "CapacityPlan", "plan_capacity",
+           "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class InstanceDemand:
+    """One instance's resource demand plus its packing constraints."""
+
+    component: str
+    cpu: float
+    memory_mb: float
+    per_host_cap: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DemandEnvelope:
+    """A service's floor (all minimums) and ceiling (all maximums)."""
+
+    service_name: str
+    floor: tuple[InstanceDemand, ...]
+    ceiling: tuple[InstanceDemand, ...]
+
+    def totals(self, which: str = "ceiling") -> tuple[float, float]:
+        instances = self.ceiling if which == "ceiling" else self.floor
+        return (sum(d.cpu for d in instances),
+                sum(d.memory_mb for d in instances))
+
+
+def demand_envelope(manifest: ServiceManifest) -> DemandEnvelope:
+    """Expand a manifest's elastic bounds into instance lists."""
+    caps = dict(manifest.placement.per_host_caps)
+    floor: list[InstanceDemand] = []
+    ceiling: list[InstanceDemand] = []
+    for system in manifest.virtual_systems:
+        demand = InstanceDemand(
+            component=system.system_id,
+            cpu=system.hardware.cpu,
+            memory_mb=system.hardware.memory_mb,
+            per_host_cap=caps.get(system.system_id),
+        )
+        floor.extend([demand] * system.instances.minimum)
+        ceiling.extend([demand] * system.instances.maximum)
+    return DemandEnvelope(
+        service_name=manifest.service_name,
+        floor=tuple(floor), ceiling=tuple(ceiling),
+    )
+
+
+@dataclass(frozen=True)
+class HostType:
+    """The homogeneous server the pool is built from (the §6.1.2 testbed's
+    quad-core/8 GB Opteron by default)."""
+
+    cpu_cores: float = 4.0
+    memory_mb: float = 8192.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0 or self.memory_mb <= 0:
+            raise ValueError("host capacity must be positive")
+
+
+@dataclass
+class _Bin:
+    cpu_free: float
+    mem_free: float
+    per_component: dict[str, int] = field(default_factory=dict)
+
+    def fits(self, d: InstanceDemand) -> bool:
+        if d.cpu > self.cpu_free + 1e-9 or d.memory_mb > self.mem_free + 1e-9:
+            return False
+        if d.per_host_cap is not None:
+            if self.per_component.get(d.component, 0) >= d.per_host_cap:
+                return False
+        return True
+
+    def place(self, d: InstanceDemand) -> None:
+        self.cpu_free -= d.cpu
+        self.mem_free -= d.memory_mb
+        self.per_component[d.component] = \
+            self.per_component.get(d.component, 0) + 1
+
+
+def _pack(instances: list[InstanceDemand], host: HostType) -> int:
+    """First-fit-decreasing by memory; returns hosts used."""
+    for d in instances:
+        if d.cpu > host.cpu_cores or d.memory_mb > host.memory_mb:
+            raise CapacityError(
+                f"instance of {d.component!r} (cpu={d.cpu}, "
+                f"mem={d.memory_mb}) exceeds the host type"
+            )
+    bins: list[_Bin] = []
+    for d in sorted(instances, key=lambda d: (-d.memory_mb, -d.cpu)):
+        target = next((b for b in bins if b.fits(d)), None)
+        if target is None:
+            target = _Bin(host.cpu_cores, host.memory_mb)
+            bins.append(target)
+        target.place(d)
+    return len(bins)
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Host counts for a workload mix on one host type."""
+
+    host: HostType
+    hosts_for_floor: int
+    hosts_for_ceiling: int
+    floor_cpu: float
+    floor_memory_mb: float
+    ceiling_cpu: float
+    ceiling_memory_mb: float
+
+    @property
+    def elasticity_headroom(self) -> int:
+        """Extra hosts needed only when every service peaks at once."""
+        return self.hosts_for_ceiling - self.hosts_for_floor
+
+    def summary(self) -> str:
+        return (f"floor: {self.hosts_for_floor} host(s) "
+                f"({self.floor_cpu:.0f} cores / "
+                f"{self.floor_memory_mb / 1024:.0f} GB); "
+                f"ceiling: {self.hosts_for_ceiling} host(s) "
+                f"({self.ceiling_cpu:.0f} cores / "
+                f"{self.ceiling_memory_mb / 1024:.0f} GB); "
+                f"headroom: {self.elasticity_headroom} host(s)")
+
+
+def plan_capacity(manifests: list[ServiceManifest],
+                  host: Optional[HostType] = None) -> CapacityPlan:
+    """Hosts needed to carry all services' floors and (worst-case) ceilings."""
+    host = host or HostType()
+    envelopes = [demand_envelope(m) for m in manifests]
+    floor = [d for e in envelopes for d in e.floor]
+    ceiling = [d for e in envelopes for d in e.ceiling]
+    return CapacityPlan(
+        host=host,
+        hosts_for_floor=_pack(floor, host) if floor else 0,
+        hosts_for_ceiling=_pack(ceiling, host) if ceiling else 0,
+        floor_cpu=sum(d.cpu for d in floor),
+        floor_memory_mb=sum(d.memory_mb for d in floor),
+        ceiling_cpu=sum(d.cpu for d in ceiling),
+        ceiling_memory_mb=sum(d.memory_mb for d in ceiling),
+    )
+
+
+class AdmissionController:
+    """Guaranteed-capacity admission: every admitted service must be able to
+    reach its maximum instances simultaneously on the pool."""
+
+    def __init__(self, pool_hosts: int, host: Optional[HostType] = None):
+        if pool_hosts <= 0:
+            raise ValueError("pool must have at least one host")
+        self.pool_hosts = pool_hosts
+        self.host = host or HostType()
+        self.admitted: list[ServiceManifest] = []
+
+    def can_admit(self, manifest: ServiceManifest) -> bool:
+        plan = plan_capacity(self.admitted + [manifest], self.host)
+        return plan.hosts_for_ceiling <= self.pool_hosts
+
+    def admit(self, manifest: ServiceManifest) -> None:
+        if not self.can_admit(manifest):
+            raise CapacityError(
+                f"cannot admit {manifest.service_name!r}: worst-case demand "
+                f"exceeds the {self.pool_hosts}-host pool"
+            )
+        self.admitted.append(manifest)
+
+    def release(self, manifest: ServiceManifest) -> None:
+        self.admitted.remove(manifest)
+
+    @property
+    def committed_plan(self) -> CapacityPlan:
+        return plan_capacity(self.admitted, self.host)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the virtual-infrastructure substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CloudError",
+    "PlacementError",
+    "CapacityError",
+    "ImageError",
+    "NetworkError",
+    "LifecycleError",
+]
+
+
+class CloudError(Exception):
+    """Base class for infrastructure-layer errors."""
+
+
+class PlacementError(CloudError):
+    """No host (or site) satisfies a deployment request's requirements."""
+
+
+class CapacityError(CloudError):
+    """A host cannot accommodate a reservation it was asked to make."""
+
+
+class ImageError(CloudError):
+    """Unknown image reference or repository inconsistency."""
+
+
+class NetworkError(CloudError):
+    """Virtual-network misconfiguration or IP-pool exhaustion."""
+
+
+class LifecycleError(CloudError):
+    """An operation was applied to a VM in an incompatible state."""

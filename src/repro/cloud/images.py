@@ -1,0 +1,144 @@
+"""Disk images and the image repository.
+
+In the paper's stack the Service Manager runs an internal HTTP server that
+hands out base images plus per-instance customisation (OVF environment) disks;
+the VEEM "gets the base disk for the VEE, creates it and boots it" (§5.1.1,
+step 6). The dominant cost the evaluation attributes to elastic scale-up is
+"duplicating the disk image of the service, deploying it on a local
+hypervisor, and booting the virtual machine" (§6.1.4) — so the repository
+models image size and transfer bandwidth explicitly, and supports
+pre-staging (the paper's suggested mitigation: "relying on pre-existing
+images to avoid replication").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .errors import ImageError
+
+__all__ = ["DiskImage", "CustomisationDisk", "ImageRepository"]
+
+
+@dataclass(frozen=True)
+class DiskImage:
+    """An immutable base disk image (OS + middleware + service software).
+
+    Attributes
+    ----------
+    image_id:
+        Identifier used in manifest ``<References>``/``<DiskSection>``.
+    href:
+        The URL-like reference placed in deployment descriptors (the REST
+        messages carry references, not the images themselves — §5.1).
+    size_mb:
+        Image size; with the repository bandwidth this determines the
+        replication component of the provisioning latency.
+    format:
+        Informational (e.g. ``"raw"``, ``"qcow2"``, ``"vmdk"``).
+    """
+
+    image_id: str
+    href: str
+    size_mb: float
+    format: str = "raw"
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError(f"image {self.image_id!r}: size must be positive")
+        if not self.image_id:
+            raise ValueError("image_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class CustomisationDisk:
+    """A small per-instance disk carrying OVF-environment customisation data.
+
+    Generated at deployment time (step 4 of the elasticity workflow) and
+    attached to the VEE "typically as a virtual CD/DVD" so the Activation
+    Engine can configure the guest (e.g. assigned IP) — §5.1.1 step 7.
+    """
+
+    disk_id: str
+    properties: dict[str, Any] = field(default_factory=dict)
+    size_mb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError("customisation disk size must be positive")
+
+
+class ImageRepository:
+    """The Service Manager's internal image server.
+
+    Tracks registered base images and computes transfer times. Hosts keep a
+    local cache; a cache hit (pre-staged image) skips the transfer entirely.
+    """
+
+    def __init__(self, bandwidth_mb_per_s: float = 100.0):
+        if bandwidth_mb_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_mb_per_s = float(bandwidth_mb_per_s)
+        self._images: dict[str, DiskImage] = {}
+        self._custom_seq = 0
+        #: total MB served; used by ablation benches on image pre-staging.
+        self.bytes_served_mb = 0.0
+
+    # -- registration ----------------------------------------------------
+    def register(self, image: DiskImage) -> DiskImage:
+        if image.image_id in self._images:
+            raise ImageError(f"image {image.image_id!r} already registered")
+        self._images[image.image_id] = image
+        return image
+
+    def add(self, image_id: str, size_mb: float, *, href: Optional[str] = None,
+            format: str = "raw") -> DiskImage:
+        """Convenience: build and register in one call."""
+        return self.register(DiskImage(
+            image_id=image_id,
+            href=href or f"http://sm.internal/images/{image_id}",
+            size_mb=size_mb,
+            format=format,
+        ))
+
+    def get(self, image_id: str) -> DiskImage:
+        try:
+            return self._images[image_id]
+        except KeyError:
+            raise ImageError(f"unknown image {image_id!r}") from None
+
+    def resolve_href(self, href: str) -> DiskImage:
+        for image in self._images.values():
+            if image.href == href:
+                return image
+        raise ImageError(f"no image with href {href!r}")
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._images
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    # -- transfer model ---------------------------------------------------
+    def transfer_time(self, image_id: str) -> float:
+        """Seconds to replicate the base image to a host (no cache)."""
+        image = self.get(image_id)
+        return image.size_mb / self.bandwidth_mb_per_s
+
+    def record_transfer(self, image_id: str) -> float:
+        """Account a transfer and return its duration."""
+        duration = self.transfer_time(image_id)
+        self.bytes_served_mb += self.get(image_id).size_mb
+        return duration
+
+    # -- customisation disks -----------------------------------------------
+    def make_customisation_disk(
+        self, properties: dict[str, Any]
+    ) -> CustomisationDisk:
+        """Generate a fresh OVF-environment disk (elasticity workflow step 4)."""
+        self._custom_seq += 1
+        return CustomisationDisk(
+            disk_id=f"custom-{self._custom_seq}",
+            properties=dict(properties),
+        )

@@ -1,0 +1,301 @@
+"""Deployment-time semantic constraints (§4.2.2, "Service deployment").
+
+The paper's flagship invariant ties the manifest to the deployment
+descriptors the Service Manager generates::
+
+    context Association
+    inv:
+    manifest.vm -> forAll(v |
+        dep_descriptor.exists(d |
+            d.name = v.id &&
+            d.memory = v.virtualhardware.memory &&
+            d.disk.source = (manifest.refs.file -> asSet() ->
+                             select(id = v.id)) -> first().href
+            ...))
+
+"This is a design by contract approach. We are not concerned with the actual
+transformation process, but rather that the final product, i.e. the
+deployment descriptor, respects certain constraints."
+
+Also here: instance-bound invariants (elastic arrays stay within min/max),
+placement invariants (co-location, anti-co-location, per-host caps hold for
+the *running* system) and the startup-order postcondition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...cloud.vm import DeploymentDescriptor, VirtualMachine, VMState
+from ..manifest.model import ServiceManifest, VirtualSystem
+from .framework import Constraint, Violation
+
+__all__ = [
+    "ProvisioningDomain",
+    "AssociationInvariant",
+    "InstanceBoundsInvariant",
+    "ColocationInvariant",
+    "AntiColocationInvariant",
+    "PerHostCapInvariant",
+    "StartupOrderPostcondition",
+    "deployment_suite",
+]
+
+
+@dataclass
+class ProvisioningDomain:
+    """The (manifest, infrastructure state) pair constraints evaluate over."""
+
+    manifest: ServiceManifest
+    service_id: str
+    #: every descriptor the Service Manager generated for this service
+    descriptors: list[DeploymentDescriptor] = field(default_factory=list)
+    #: every VM created for this service (including stopped ones)
+    vms: list[VirtualMachine] = field(default_factory=list)
+
+    # -- helpers -----------------------------------------------------------
+    def descriptors_of(self, system_id: str) -> list[DeploymentDescriptor]:
+        return [d for d in self.descriptors if d.component_id == system_id]
+
+    def active_vms_of(self, system_id: str) -> list[VirtualMachine]:
+        return [vm for vm in self.vms
+                if vm.descriptor.component_id == system_id and vm.is_active]
+
+    def running_vms_of(self, system_id: str) -> list[VirtualMachine]:
+        return [vm for vm in self.active_vms_of(system_id)
+                if vm.state is VMState.RUNNING]
+
+
+class AssociationInvariant(Constraint):
+    """Every virtual system has ≥1 conforming descriptor; every descriptor
+    conforms to its virtual system (name, memory, cpu, disk source,
+    networks)."""
+
+    name = "association"
+
+    def check(self, domain: ProvisioningDomain) -> list[Violation]:
+        violations: list[Violation] = []
+        manifest = domain.manifest
+        for system in manifest.virtual_systems:
+            descriptors = domain.descriptors_of(system.system_id)
+            if system.instances.initial > 0 and not descriptors:
+                violations.append(self.violation(
+                    f"no deployment descriptor generated for virtual system "
+                    f"{system.system_id!r}",
+                    system=system.system_id,
+                ))
+                continue
+            expected_href = manifest.image_href(system)
+            for d in descriptors:
+                violations.extend(
+                    self._check_descriptor(system, d, expected_href))
+        known = set(manifest.system_ids())
+        for d in domain.descriptors:
+            if d.component_id not in known:
+                violations.append(self.violation(
+                    f"descriptor {d.name!r} references unknown virtual "
+                    f"system {d.component_id!r}",
+                    descriptor=d.name,
+                ))
+        return violations
+
+    def _check_descriptor(self, system: VirtualSystem,
+                          d: DeploymentDescriptor,
+                          expected_href: str) -> list[Violation]:
+        violations = []
+        if not d.name.startswith(system.system_id):
+            violations.append(self.violation(
+                f"descriptor name {d.name!r} does not identify system "
+                f"{system.system_id!r} (OCL: d.name = v.id)",
+                descriptor=d.name, system=system.system_id,
+            ))
+        if d.memory_mb != system.hardware.memory_mb:
+            violations.append(self.violation(
+                f"descriptor {d.name!r} memory {d.memory_mb} ≠ manifest "
+                f"{system.hardware.memory_mb} (OCL: d.memory = "
+                f"v.virtualhardware.memory)",
+                descriptor=d.name,
+            ))
+        if d.cpu != system.hardware.cpu:
+            violations.append(self.violation(
+                f"descriptor {d.name!r} cpu {d.cpu} ≠ manifest "
+                f"{system.hardware.cpu}",
+                descriptor=d.name,
+            ))
+        if d.disk_source != expected_href:
+            violations.append(self.violation(
+                f"descriptor {d.name!r} disk source {d.disk_source!r} ≠ "
+                f"manifest file href {expected_href!r} (OCL: d.disk.source "
+                f"= refs.file.href)",
+                descriptor=d.name,
+            ))
+        if set(d.networks) != set(system.network_refs):
+            violations.append(self.violation(
+                f"descriptor {d.name!r} networks {sorted(d.networks)} ≠ "
+                f"manifest {sorted(system.network_refs)}",
+                descriptor=d.name,
+            ))
+        return violations
+
+
+class InstanceBoundsInvariant(Constraint):
+    """Active instances of every elastic array stay within [min, max]."""
+
+    name = "instance-bounds"
+
+    def check(self, domain: ProvisioningDomain) -> list[Violation]:
+        violations = []
+        for system in domain.manifest.virtual_systems:
+            count = len(domain.active_vms_of(system.system_id))
+            bounds = system.instances
+            if count > bounds.maximum:
+                violations.append(self.violation(
+                    f"{system.system_id!r} has {count} active instances, "
+                    f"above maximum {bounds.maximum}",
+                    system=system.system_id, count=count,
+                ))
+            if count < bounds.minimum:
+                violations.append(self.violation(
+                    f"{system.system_id!r} has {count} active instances, "
+                    f"below minimum {bounds.minimum}",
+                    system=system.system_id, count=count,
+                ))
+            if not system.replicable and count > 1:
+                violations.append(self.violation(
+                    f"non-replicable {system.system_id!r} has {count} "
+                    f"active instances",
+                    system=system.system_id, count=count,
+                ))
+        return violations
+
+
+class ColocationInvariant(Constraint):
+    """Each running instance of a co-located component shares a host with
+    some running instance of its anchor."""
+
+    name = "colocation"
+
+    def check(self, domain: ProvisioningDomain) -> list[Violation]:
+        violations = []
+        for c in domain.manifest.placement.colocations:
+            anchors = domain.running_vms_of(c.with_system_id)
+            if not anchors:
+                continue  # anchor not up (yet/anymore): nothing to violate
+            anchor_hosts = {vm.host for vm in anchors if vm.host is not None}
+            for vm in domain.running_vms_of(c.system_id):
+                if vm.host not in anchor_hosts:
+                    violations.append(self.violation(
+                        f"{vm.vm_id} ({c.system_id}) must share a host with "
+                        f"{c.with_system_id} but runs on "
+                        f"{vm.host.name if vm.host else '?'}",
+                        vm=vm.vm_id,
+                    ))
+        return violations
+
+
+class AntiColocationInvariant(Constraint):
+    """No running instance shares a host with a component it must avoid."""
+
+    name = "anti-colocation"
+
+    def check(self, domain: ProvisioningDomain) -> list[Violation]:
+        violations = []
+        for a in domain.manifest.placement.anti_colocations:
+            avoid_hosts = {
+                vm.host for vm in domain.running_vms_of(a.avoid_system_id)
+                if vm.host is not None
+            }
+            for vm in domain.running_vms_of(a.system_id):
+                if vm.host in avoid_hosts:
+                    violations.append(self.violation(
+                        f"{vm.vm_id} ({a.system_id}) shares host "
+                        f"{vm.host.name} with avoided {a.avoid_system_id}",
+                        vm=vm.vm_id,
+                    ))
+        return violations
+
+
+class PerHostCapInvariant(Constraint):
+    """No host exceeds a component's per-host instance cap."""
+
+    name = "per-host-cap"
+
+    def check(self, domain: ProvisioningDomain) -> list[Violation]:
+        violations = []
+        for system_id, cap in domain.manifest.placement.per_host_caps:
+            per_host: dict[str, int] = {}
+            for vm in domain.running_vms_of(system_id):
+                if vm.host is not None:
+                    per_host[vm.host.name] = per_host.get(vm.host.name, 0) + 1
+            for host_name, count in per_host.items():
+                if count > cap:
+                    violations.append(self.violation(
+                        f"host {host_name} runs {count} instances of "
+                        f"{system_id!r}, above cap {cap}",
+                        host=host_name, count=count,
+                    ))
+        return violations
+
+
+class StartupOrderPostcondition(Constraint):
+    """Initial deployment respected the startup section (MDL4).
+
+    For consecutive boot tiers, the *first* instance of every system in the
+    later tier must have been submitted no earlier than the first instance
+    of every wait-for-guest system in the earlier tier reached RUNNING.
+    """
+
+    name = "startup-order"
+
+    def check(self, domain: ProvisioningDomain) -> list[Violation]:
+        manifest = domain.manifest
+        if not manifest.startup:
+            return []
+        violations = []
+        tiers = manifest.startup_order()
+        wait_ids = {e.system_id for e in manifest.startup if e.wait_for_guest}
+
+        def first_vm(system_id: str) -> Optional[VirtualMachine]:
+            vms = [vm for vm in domain.vms
+                   if vm.descriptor.component_id == system_id]
+            return min(vms, key=lambda vm: vm.submitted_at) if vms else None
+
+        for earlier, later in zip(tiers, tiers[1:]):
+            gate = [
+                vm for vm in (first_vm(s) for s in earlier
+                              if s in wait_ids)
+                if vm is not None
+            ]
+            if not gate:
+                continue
+            if any(vm.running_at is None for vm in gate):
+                gate_time = None  # earlier tier never came up
+            else:
+                gate_time = max(vm.running_at for vm in gate)
+            for system_id in later:
+                vm = first_vm(system_id)
+                if vm is None:
+                    continue
+                if gate_time is None or vm.submitted_at < gate_time:
+                    violations.append(self.violation(
+                        f"{system_id!r} was submitted at {vm.submitted_at} "
+                        f"before tier {earlier} was fully running "
+                        f"(at {gate_time})",
+                        system=system_id,
+                    ))
+        return violations
+
+
+def deployment_suite() -> "ConstraintSuite":
+    """The full §4.2.2 deployment-semantics suite."""
+    from .framework import ConstraintSuite
+
+    return ConstraintSuite([
+        AssociationInvariant(),
+        InstanceBoundsInvariant(),
+        ColocationInvariant(),
+        AntiColocationInvariant(),
+        PerHostCapInvariant(),
+        StartupOrderPostcondition(),
+    ])

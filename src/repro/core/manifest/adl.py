@@ -1,0 +1,159 @@
+"""The Application Description Language (ADL).
+
+§4.2.1 / Fig. 3: "The syntax of the ADL consists of one or more named
+components, with a number of associated KPIs. These KPIs are identified using
+appropriate qualified names (e.g. com.sap.webdispatcher.kpis.sessions), that
+will allow the underlying infrastructure to identify corresponding events
+obtained from an application level monitor."
+
+The concrete XML of §6.1.2::
+
+    <ApplicationDescription name="polymorphGridApp">
+      <Component name="GridMgmtService" ovf:id="GM">
+        <KeyPerformanceIndicator category="Agent" type="int">
+          <Frequency unit="s">30</Frequency>
+          <QName>uk.ucl.condor.schedd.queuesize</QName>
+        </KeyPerformanceIndicator>
+      </Component>
+      ...
+    </ApplicationDescription>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...monitoring.measurements import AttributeType, validate_qualified_name
+
+__all__ = ["KPICategory", "KeyPerformanceIndicator", "ComponentDescription",
+           "ApplicationDescription"]
+
+
+#: KPI provenance categories: produced by an application agent, by the
+#: infrastructure (hypervisor-level), or derived by the service manager.
+KPI_CATEGORIES = ("Agent", "Infrastructure", "Derived")
+KPICategory = str
+
+#: manifest type attribute → wire type
+_TYPE_NAMES = {
+    "int": AttributeType.INTEGER,
+    "long": AttributeType.LONG,
+    "float": AttributeType.FLOAT,
+    "double": AttributeType.DOUBLE,
+    "bool": AttributeType.BOOLEAN,
+    "string": AttributeType.STRING,
+}
+_TYPE_NAMES_REV = {v: k for k, v in _TYPE_NAMES.items()}
+
+
+@dataclass(frozen=True)
+class KeyPerformanceIndicator:
+    """One monitorable application parameter.
+
+    ``default`` feeds the OCL ``qe.default`` fallback used when a rule is
+    evaluated before any measurement has arrived.
+    """
+
+    qualified_name: str
+    type: AttributeType = AttributeType.INTEGER
+    frequency_s: float = 30.0
+    category: KPICategory = "Agent"
+    units: str = ""
+    default: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        validate_qualified_name(self.qualified_name)
+        if self.frequency_s <= 0:
+            raise ValueError(
+                f"KPI {self.qualified_name}: frequency must be positive"
+            )
+        if self.category not in KPI_CATEGORIES:
+            raise ValueError(
+                f"KPI {self.qualified_name}: category must be one of "
+                f"{KPI_CATEGORIES}, got {self.category!r}"
+            )
+
+    @property
+    def type_name(self) -> str:
+        return _TYPE_NAMES_REV[self.type]
+
+    @staticmethod
+    def type_from_name(name: str) -> AttributeType:
+        try:
+            return _TYPE_NAMES[name]
+        except KeyError:
+            raise ValueError(f"unknown KPI type {name!r}") from None
+
+
+@dataclass(frozen=True)
+class ComponentDescription:
+    """A named application component bound to a manifest virtual system."""
+
+    name: str
+    ovf_id: str
+    kpis: tuple[KeyPerformanceIndicator, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("component name must be non-empty")
+        if not self.ovf_id:
+            raise ValueError(f"component {self.name}: ovf_id must be non-empty")
+        names = [k.qualified_name for k in self.kpis]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"component {self.name}: duplicate KPI qualified names"
+            )
+
+    def kpi(self, qualified_name: str) -> KeyPerformanceIndicator:
+        for k in self.kpis:
+            if k.qualified_name == qualified_name:
+                return k
+        raise KeyError(
+            f"component {self.name} declares no KPI {qualified_name!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ApplicationDescription:
+    """The application state model: components and their KPIs."""
+
+    name: str
+    components: tuple[ComponentDescription, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("application name must be non-empty")
+        comp_names = [c.name for c in self.components]
+        if len(set(comp_names)) != len(comp_names):
+            raise ValueError("duplicate component names")
+        qnames = [k.qualified_name for c in self.components for k in c.kpis]
+        if len(set(qnames)) != len(qnames):
+            raise ValueError(
+                "KPI qualified names must be global within the service scope"
+            )
+
+    def component(self, name: str) -> ComponentDescription:
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise KeyError(f"no component {name!r}")
+
+    def all_kpis(self) -> list[KeyPerformanceIndicator]:
+        return [k for c in self.components for k in c.kpis]
+
+    def kpi(self, qualified_name: str) -> KeyPerformanceIndicator:
+        for k in self.all_kpis():
+            if k.qualified_name == qualified_name:
+                return k
+        raise KeyError(f"no KPI {qualified_name!r} declared")
+
+    def kpi_defaults(self) -> dict[str, float]:
+        """qualified name → declared default (only where one exists)."""
+        return {
+            k.qualified_name: k.default
+            for k in self.all_kpis() if k.default is not None
+        }
+
+    def declared_names(self) -> set[str]:
+        return {k.qualified_name for k in self.all_kpis()}

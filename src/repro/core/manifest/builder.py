@@ -1,0 +1,242 @@
+"""Fluent builder for service manifests.
+
+The UCL-MDA tooling of §4.2.3 lets users "create, edit and validate
+manifests" interactively; this builder is the programmatic equivalent — it
+assembles the abstract syntax incrementally, fills in the obvious plumbing
+(file references and disks derived from image declarations), and validates on
+:meth:`ManifestBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .adl import (
+    ApplicationDescription,
+    ComponentDescription,
+    KeyPerformanceIndicator,
+)
+from .elasticity import ElasticityRule
+from .sla import ServiceLevelObjective, SLASection
+from .model import (
+    AntiColocationConstraint,
+    ColocationConstraint,
+    FileReference,
+    InstanceBounds,
+    LogicalNetwork,
+    PlacementPolicySection,
+    ServiceManifest,
+    SitePlacement,
+    StartupEntry,
+    VirtualDisk,
+    VirtualHardware,
+    VirtualSystem,
+)
+from .validation import ensure_valid
+
+__all__ = ["ManifestBuilder"]
+
+
+class ManifestBuilder:
+    """Accumulates manifest parts; ``build()`` validates and freezes them.
+
+    Example
+    -------
+    >>> builder = ManifestBuilder("sap-erp")
+    >>> _ = builder.network("internal")
+    >>> _ = builder.component("DBMS", image_mb=8192, cpu=2, memory_mb=4096,
+    ...                       networks=["internal"])
+    >>> manifest = builder.build()
+    >>> manifest.system("DBMS").hardware.cpu
+    2
+    """
+
+    def __init__(self, service_name: str):
+        self.service_name = service_name
+        self._references: list[FileReference] = []
+        self._disks: list[VirtualDisk] = []
+        self._networks: list[LogicalNetwork] = []
+        self._systems: list[VirtualSystem] = []
+        self._startup: list[StartupEntry] = []
+        self._colocations: list[ColocationConstraint] = []
+        self._anti_colocations: list[AntiColocationConstraint] = []
+        self._site_placements: list[SitePlacement] = []
+        self._per_host_caps: list[tuple[str, int]] = []
+        self._components: list[ComponentDescription] = []
+        self._rules: list[ElasticityRule] = []
+        self._slos: list[ServiceLevelObjective] = []
+        self._app_name: Optional[str] = None
+
+    # -- infrastructure parts ---------------------------------------------------
+    def network(self, name: str, *, description: str = "",
+                public: bool = False) -> "ManifestBuilder":
+        self._networks.append(LogicalNetwork(name, description, public))
+        return self
+
+    def component(self, system_id: str, *, image_mb: float,
+                  cpu: float = 1.0, memory_mb: float = 1024.0,
+                  networks: Sequence[str] = (),
+                  customisation: Optional[dict[str, str]] = None,
+                  info: str = "",
+                  image_href: Optional[str] = None,
+                  initial: int = 1, minimum: Optional[int] = None,
+                  maximum: Optional[int] = None,
+                  replicable: bool = True,
+                  startup_order: Optional[int] = None) -> "ManifestBuilder":
+        """Declare one component: image, hardware, networks, elasticity.
+
+        Generates the file reference and disk automatically; elastic bounds
+        default to a fixed single instance.
+        """
+        file_id = f"{system_id}-image"
+        disk_id = f"{system_id}-disk"
+        self._references.append(FileReference(
+            file_id=file_id,
+            href=image_href or f"http://sm.internal/images/{system_id}",
+            size_mb=image_mb,
+        ))
+        self._disks.append(VirtualDisk(disk_id=disk_id, file_ref=file_id))
+        bounds = InstanceBounds(
+            initial=initial,
+            minimum=initial if minimum is None else minimum,
+            maximum=initial if maximum is None else maximum,
+        )
+        self._systems.append(VirtualSystem(
+            system_id=system_id,
+            info=info,
+            hardware=VirtualHardware(cpu=cpu, memory_mb=memory_mb),
+            disk_refs=(disk_id,),
+            network_refs=tuple(networks),
+            customisation=tuple((customisation or {}).items()),
+            instances=bounds,
+            replicable=replicable,
+        ))
+        if startup_order is not None:
+            self._startup.append(StartupEntry(system_id, startup_order))
+        return self
+
+    # -- placement constraints ------------------------------------------------------
+    def colocate(self, system_id: str, with_system_id: str
+                 ) -> "ManifestBuilder":
+        self._colocations.append(
+            ColocationConstraint(system_id, with_system_id))
+        return self
+
+    def anti_colocate(self, system_id: str, avoid_system_id: str
+                      ) -> "ManifestBuilder":
+        self._anti_colocations.append(
+            AntiColocationConstraint(system_id, avoid_system_id))
+        return self
+
+    def site_placement(self, system_id: Optional[str] = None, *,
+                       favour: Sequence[str] = (),
+                       avoid: Sequence[str] = (),
+                       require_trusted: bool = False) -> "ManifestBuilder":
+        self._site_placements.append(SitePlacement(
+            system_id=system_id, favour_sites=tuple(favour),
+            avoid_sites=tuple(avoid), require_trusted=require_trusted,
+        ))
+        return self
+
+    def per_host_cap(self, system_id: str, cap: int) -> "ManifestBuilder":
+        self._per_host_caps.append((system_id, cap))
+        return self
+
+    # -- application description ----------------------------------------------------
+    def application(self, name: str) -> "ManifestBuilder":
+        self._app_name = name
+        return self
+
+    def kpi(self, component: str, ovf_id: str, qualified_name: str, *,
+            frequency_s: float = 30.0, type_name: str = "int",
+            category: str = "Agent", units: str = "",
+            default: Optional[float] = None) -> "ManifestBuilder":
+        """Declare a KPI, creating/extending the ADL component entry."""
+        kpi = KeyPerformanceIndicator(
+            qualified_name=qualified_name,
+            type=KeyPerformanceIndicator.type_from_name(type_name),
+            frequency_s=frequency_s, category=category, units=units,
+            default=default,
+        )
+        for i, comp in enumerate(self._components):
+            if comp.name == component:
+                self._components[i] = ComponentDescription(
+                    name=comp.name, ovf_id=comp.ovf_id,
+                    kpis=comp.kpis + (kpi,),
+                )
+                return self
+        self._components.append(ComponentDescription(
+            name=component, ovf_id=ovf_id, kpis=(kpi,),
+        ))
+        return self
+
+    # -- elasticity -------------------------------------------------------------
+    def rule(self, name: str, expression: str, actions: str | list[str], *,
+             time_constraint_ms: float = 5000.0,
+             cooldown_s: Optional[float] = None) -> "ManifestBuilder":
+        """Add an ECA rule from concrete-syntax strings.
+
+        KPI defaults declared so far are bound into the expression's
+        references.
+        """
+        defaults = {
+            k.qualified_name: k.default
+            for c in self._components for k in c.kpis
+            if k.default is not None
+        }
+        self._rules.append(ElasticityRule.from_text(
+            name, expression, actions,
+            time_constraint_ms=time_constraint_ms,
+            defaults=defaults, cooldown_s=cooldown_s,
+        ))
+        return self
+
+    def slo(self, name: str, expression: str, *,
+            evaluation_period_s: float = 30.0,
+            target_compliance: float = 0.95,
+            assessment_window_s: float = 3600.0,
+            penalty_per_breach: float = 1.0) -> "ManifestBuilder":
+        """Add a service-level objective (§8 future-work syntax)."""
+        defaults = {
+            k.qualified_name: k.default
+            for c in self._components for k in c.kpis
+            if k.default is not None
+        }
+        self._slos.append(ServiceLevelObjective.from_text(
+            name, expression,
+            evaluation_period_s=evaluation_period_s,
+            target_compliance=target_compliance,
+            assessment_window_s=assessment_window_s,
+            penalty_per_breach=penalty_per_breach,
+            defaults=defaults,
+        ))
+        return self
+
+    # -- assembly ----------------------------------------------------------------
+    def build(self, *, validate: bool = True) -> ServiceManifest:
+        application = None
+        if self._components or self._app_name:
+            application = ApplicationDescription(
+                name=self._app_name or self.service_name,
+                components=tuple(self._components),
+            )
+        manifest = ServiceManifest(
+            service_name=self.service_name,
+            references=tuple(self._references),
+            disks=tuple(self._disks),
+            networks=tuple(self._networks),
+            virtual_systems=tuple(self._systems),
+            startup=tuple(self._startup),
+            placement=PlacementPolicySection(
+                colocations=tuple(self._colocations),
+                anti_colocations=tuple(self._anti_colocations),
+                site_placements=tuple(self._site_placements),
+                per_host_caps=tuple(self._per_host_caps),
+            ),
+            application=application,
+            elasticity_rules=tuple(self._rules),
+            sla=SLASection(tuple(self._slos)),
+        )
+        if validate:
+            ensure_valid(manifest)
+        return manifest

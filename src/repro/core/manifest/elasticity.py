@@ -1,0 +1,154 @@
+"""Elasticity rules: Event-Condition-Action capacity adjustment.
+
+§4.2.1 / Fig. 4: "we adopt an Event-Condition-Action approach to rule
+specification ... Based on monitoring events obtained from the
+infrastructure, particular actions from the VEEM are to be requested when
+certain conditions relating to these events hold true ... The operations,
+modelled on the OpenNebula framework capabilities will involve the
+submission, shutdown, migration, reconfiguration, etc. of VMs and should be
+invoked within a particular time frame."
+
+Concrete XML (§6.1.2)::
+
+    <ElasticityRule name="AdjustClusterSizeUp">
+      <Trigger>
+        <TimeConstraint unit="ms">5000</TimeConstraint>
+        <Expression>
+          (@uk.ucl.condor.schedd.queuesize /
+           (@uk.ucl.condor.exec.instances.size + 1) > 4) &&
+          (@uk.ucl.condor.exec.instances.size < 16)
+        </Expression>
+      </Trigger>
+      <Action run="deployVM(uk.ucl.condor.exec.ref)"/>
+    </ElasticityRule>
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .expressions import Expression, ExpressionError, parse_expression
+
+__all__ = ["VEEMOperation", "ElasticityAction", "Trigger", "ElasticityRule",
+           "parse_action"]
+
+
+class VEEMOperation(enum.Enum):
+    """The VEEM operation set elasticity actions may request (§4.2.1)."""
+
+    DEPLOY_VM = "deployVM"
+    UNDEPLOY_VM = "undeployVM"
+    MIGRATE_VM = "migrateVM"
+    RECONFIGURE_VM = "reconfigureVM"
+    NOTIFY = "notify"  # out-of-band alert to the provider, no VEEM call
+
+
+_ACTION_RE = re.compile(r"^\s*(\w+)\s*\(\s*([^()]*?)\s*\)\s*$")
+
+
+@dataclass(frozen=True)
+class ElasticityAction:
+    """One requested operation: which VEEM call, on which component ref.
+
+    ``component_ref`` follows the paper's style of naming the elastic
+    component's deployment reference (``uk.ucl.condor.exec.ref``); the
+    Service Manager resolves it to a virtual-system id at install time.
+    """
+
+    operation: VEEMOperation
+    component_ref: str = ""
+    arguments: tuple[str, ...] = ()
+
+    def unparse(self) -> str:
+        args = ", ".join((self.component_ref, *self.arguments)) \
+            if self.component_ref else ", ".join(self.arguments)
+        return f"{self.operation.value}({args})"
+
+
+def parse_action(text: str) -> ElasticityAction:
+    """Parse an ``<Action run="..."/>`` attribute value."""
+    match = _ACTION_RE.match(text)
+    if match is None:
+        raise ExpressionError(f"malformed action {text!r}")
+    op_name, arg_text = match.groups()
+    try:
+        operation = VEEMOperation(op_name)
+    except ValueError:
+        valid = ", ".join(op.value for op in VEEMOperation)
+        raise ExpressionError(
+            f"unknown operation {op_name!r} (expected one of: {valid})"
+        ) from None
+    args = tuple(a.strip() for a in arg_text.split(",") if a.strip())
+    component_ref = args[0] if args else ""
+    return ElasticityAction(operation, component_ref, args[1:])
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """Condition plus the time frame within which actions must follow.
+
+    ``time_constraint_ms`` is the §6.1.2 ``<TimeConstraint unit="ms">``: the
+    Service Manager must evaluate the rule and invoke the actions within this
+    window of the enabling monitoring event; the generated validation
+    instruments check it against infrastructure logs.
+    """
+
+    expression: Expression
+    time_constraint_ms: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.time_constraint_ms <= 0:
+            raise ValueError("time constraint must be positive")
+
+    @property
+    def time_constraint_s(self) -> float:
+        return self.time_constraint_ms / 1000.0
+
+
+@dataclass(frozen=True)
+class ElasticityRule:
+    """A named ECA rule: when the trigger holds, request the actions."""
+
+    name: str
+    trigger: Trigger
+    actions: tuple[ElasticityAction, ...]
+    #: minimum spacing between two firings of this rule; defaults to the
+    #: trigger's time constraint so a persistent condition fires once per
+    #: evaluation window rather than once per monitoring event.
+    cooldown_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("rule name must be non-empty")
+        if not self.actions:
+            raise ValueError(f"rule {self.name}: at least one action required")
+
+    @property
+    def effective_cooldown_s(self) -> float:
+        if self.cooldown_s is not None:
+            return self.cooldown_s
+        return self.trigger.time_constraint_s
+
+    def kpi_references(self) -> set[str]:
+        return self.trigger.expression.kpi_references()
+
+    @classmethod
+    def from_text(cls, name: str, expression: str, actions: str | list[str],
+                  *, time_constraint_ms: float = 5000.0,
+                  defaults: Optional[dict[str, float]] = None,
+                  cooldown_s: Optional[float] = None) -> "ElasticityRule":
+        """Build a rule from concrete syntax strings."""
+        if isinstance(actions, str):
+            actions = [actions]
+        return cls(
+            name=name,
+            trigger=Trigger(
+                expression=parse_expression(expression, defaults),
+                time_constraint_ms=time_constraint_ms,
+            ),
+            actions=tuple(parse_action(a) for a in actions),
+            cooldown_s=cooldown_s,
+        )

@@ -1,0 +1,521 @@
+"""The elasticity-condition expression language.
+
+§4.2.1: "The conditions are expressed using a collection of nested
+expressions and may involve numerical values, arithmetic and boolean
+operations, and values of monitoring elements obtained."
+
+Concrete syntax (as printed in the paper's §6.1.2 manifest)::
+
+    (@uk.ucl.condor.schedd.queuesize /
+     (@uk.ucl.condor.exec.instances.size + 1) > 4) &&
+    (@uk.ucl.condor.exec.instances.size < 16)
+
+``@name.with.dots`` references the latest monitoring value for a KPI
+qualified name. Evaluation follows the OCL semantics of §4.2.2 exactly:
+
+* ``evaluate(ElementSimpleType)`` — a literal evaluates to its value;
+* ``evaluate(QualifiedElement)`` — the *latest* monitoring record with a
+  matching qualified name, else the KPI's declared default;
+* ``evaluate(Expression)`` — recursive; comparison operators yield
+  ``1``/``0`` ("if ... then result = 1 else result = 0"), and a rule fires
+  when the top-level result is ``> 0``.
+
+Grammar (precedence low → high)::
+
+    or_expr    := and_expr ( '||' and_expr )*
+    and_expr   := not_expr ( '&&' not_expr )*
+    not_expr   := '!' not_expr | comparison
+    comparison := additive ( ('>'|'<'|'>='|'<='|'=='|'!=') additive )?
+    additive   := term ( ('+'|'-') term )*
+    term       := factor ( ('*'|'/') factor )*
+    factor     := NUMBER | KPIREF | WINDOW | '(' or_expr ')'
+                | '-' factor | '!' factor
+    WINDOW     := ('mean'|'min'|'max'|'count') '(' KPIREF ',' NUMBER ')'
+
+Window operations are the time-series extension §4.2.1 announces ("we are
+currently working on the ability to specify a time series and operations
+related to that time series (mean, minimum, maximum, etc.)"): they
+aggregate a KPI's measurements over the trailing window of the given number
+of seconds. Evaluating them requires window-capable bindings (see
+:class:`EvaluationContext`); plain latest-value bindings raise.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from ...monitoring.measurements import validate_qualified_name
+
+__all__ = [
+    "ExpressionError",
+    "Expression",
+    "Literal",
+    "KPIRef",
+    "UnaryOp",
+    "BinaryOp",
+    "Comparison",
+    "BooleanOp",
+    "WindowOp",
+    "parse_expression",
+    "Bindings",
+    "EvaluationContext",
+]
+
+
+class ExpressionError(Exception):
+    """Lexing, parsing or evaluation failure."""
+
+
+#: Resolver from KPI qualified name → current value (or None if unknown).
+Bindings = Callable[[str], Optional[float]]
+
+
+class EvaluationContext:
+    """Window-capable bindings for expressions with time-series operations.
+
+    Wraps a latest-value resolver plus a window aggregator. The aggregator
+    receives (qualified name, window seconds, operation) and returns the
+    aggregate over measurements in the trailing window, or ``None`` when the
+    window is empty.
+    """
+
+    def __init__(self, latest: Bindings,
+                 window: Optional[
+                     Callable[[str, float, str], Optional[float]]] = None):
+        self.latest = latest
+        self.window = window
+
+    def __call__(self, name: str) -> Optional[float]:
+        return self.latest(name)
+
+    def aggregate(self, name: str, window_s: float,
+                  op: str) -> Optional[float]:
+        if self.window is None:
+            raise ExpressionError(
+                f"{op}(@{name}, {window_s:g}) needs window-capable bindings"
+            )
+        return self.window(name, window_s, op)
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class Expression(abc.ABC):
+    """Base class for condition-expression AST nodes."""
+
+    @abc.abstractmethod
+    def evaluate(self, bindings: Bindings) -> float:
+        """Numeric result; booleans are 1.0 / 0.0 per the OCL semantics."""
+
+    @abc.abstractmethod
+    def kpi_references(self) -> set[str]:
+        """Every qualified name the expression reads."""
+
+    @abc.abstractmethod
+    def unparse(self) -> str:
+        """Concrete-syntax text that re-parses to an equivalent AST."""
+
+    def holds(self, bindings: Bindings) -> bool:
+        """Rule-firing predicate: ``evaluate(...) > 0`` (§4.2.2)."""
+        return self.evaluate(bindings) > 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.unparse()!r}>"
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: float
+
+    def evaluate(self, bindings: Bindings) -> float:
+        return float(self.value)
+
+    def kpi_references(self) -> set[str]:
+        return set()
+
+    def unparse(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return repr(float(self.value))
+
+
+@dataclass(frozen=True)
+class KPIRef(Expression):
+    """``@qualified.name`` — latest monitoring value, with optional default.
+
+    The default mirrors OCL's ``else result = qe.default``; rule authors set
+    it via the KPI declaration. Evaluating an unbound reference without a
+    default is an error — silently assuming 0 could fire a scale-down rule
+    before the first measurement ever arrives.
+    """
+
+    name: str
+    default: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        validate_qualified_name(self.name)
+
+    def evaluate(self, bindings: Bindings) -> float:
+        value = bindings(self.name)
+        if value is None:
+            if self.default is None:
+                raise ExpressionError(
+                    f"no monitoring record for {self.name!r} and no default"
+                )
+            return float(self.default)
+        return float(value)
+
+    def kpi_references(self) -> set[str]:
+        return {self.name}
+
+    def unparse(self) -> str:
+        return f"@{self.name}"
+
+
+
+
+_WINDOW_OPS = ("mean", "min", "max", "count")
+
+
+@dataclass(frozen=True)
+class WindowOp(Expression):
+    """``mean(@kpi, seconds)`` etc. — trailing-window KPI aggregation.
+
+    ``count`` yields the number of measurements in the window (0 for an
+    empty window); the value aggregates fall back to the KPI default (or
+    raise without one), mirroring :class:`KPIRef` semantics.
+    """
+
+    op: str
+    name: str
+    window_s: float
+    default: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _WINDOW_OPS:
+            raise ExpressionError(f"unknown window operation {self.op!r}")
+        validate_qualified_name(self.name)
+        if self.window_s <= 0:
+            raise ExpressionError("window must be positive")
+
+    def evaluate(self, bindings: Bindings) -> float:
+        if isinstance(bindings, EvaluationContext):
+            value = bindings.aggregate(self.name, self.window_s, self.op)
+        else:
+            raise ExpressionError(
+                f"{self.unparse()} requires an EvaluationContext, got plain "
+                f"latest-value bindings"
+            )
+        if value is None:
+            if self.op == "count":
+                return 0.0
+            if self.default is None:
+                raise ExpressionError(
+                    f"empty window for {self.unparse()} and no default"
+                )
+            return float(self.default)
+        return float(value)
+
+    def kpi_references(self) -> set[str]:
+        return {self.name}
+
+    def unparse(self) -> str:
+        if float(self.window_s).is_integer():
+            w = str(int(self.window_s))
+        else:
+            w = repr(float(self.window_s))
+        return f"{self.op}(@{self.name}, {w})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # '-' or '!'
+    operand: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("-", "!"):
+            raise ExpressionError(f"unknown unary operator {self.op!r}")
+
+    def evaluate(self, bindings: Bindings) -> float:
+        value = self.operand.evaluate(bindings)
+        if self.op == "-":
+            return -value
+        return 0.0 if value > 0 else 1.0
+
+    def kpi_references(self) -> set[str]:
+        return self.operand.kpi_references()
+
+    def unparse(self) -> str:
+        return f"{self.op}({self.operand.unparse()})"
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str  # + - * /
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, bindings: Bindings) -> float:
+        a = self.left.evaluate(bindings)
+        b = self.right.evaluate(bindings)
+        if self.op == "/":
+            if b == 0:
+                raise ExpressionError(
+                    f"division by zero in {self.unparse()!r}"
+                )
+            return a / b
+        return _ARITH[self.op](a, b)
+
+    def kpi_references(self) -> set[str]:
+        return self.left.kpi_references() | self.right.kpi_references()
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+_COMPARE = {
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARE:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, bindings: Bindings) -> float:
+        a = self.left.evaluate(bindings)
+        b = self.right.evaluate(bindings)
+        return 1.0 if _COMPARE[self.op](a, b) else 0.0
+
+    def kpi_references(self) -> set[str]:
+        return self.left.kpi_references() | self.right.kpi_references()
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    op: str  # '&&' or '||'
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("&&", "||"):
+            raise ExpressionError(f"unknown boolean operator {self.op!r}")
+
+    def evaluate(self, bindings: Bindings) -> float:
+        a = self.left.evaluate(bindings) > 0
+        # No short-circuit: both sides' KPI lookups must be resolvable, which
+        # surfaces missing-default configuration errors deterministically
+        # rather than only when the left side happens to be false.
+        b = self.right.evaluate(bindings) > 0
+        result = (a and b) if self.op == "&&" else (a or b)
+        return 1.0 if result else 0.0
+
+    def kpi_references(self) -> set[str]:
+        return self.left.kpi_references() | self.right.kpi_references()
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str   # NUMBER, KPIREF, OP, LPAREN, RPAREN, END
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<NUMBER>\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<KPIREF>@[A-Za-z0-9_\-]+(\.[A-Za-z0-9_\-]+)+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP>&&|\|\||>=|<=|==|!=|[-+*/><!])
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ExpressionError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        kind = match.lastgroup
+        if kind != "WS":
+            yield _Token(kind, match.group(), pos)
+        pos = match.end()
+    yield _Token("END", "", pos)
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent)
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, text: str,
+                 defaults: Optional[dict[str, float]] = None):
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+        self.defaults = defaults or {}
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ExpressionError(
+                f"expected {text or kind} at position {token.pos}, "
+                f"got {token.text!r}"
+            )
+        return self.advance()
+
+    def parse(self) -> Expression:
+        expr = self.or_expr()
+        if self.current.kind != "END":
+            raise ExpressionError(
+                f"trailing input at position {self.current.pos}: "
+                f"{self.current.text!r}"
+            )
+        return expr
+
+    def or_expr(self) -> Expression:
+        left = self.and_expr()
+        while self.current.kind == "OP" and self.current.text == "||":
+            self.advance()
+            left = BooleanOp("||", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expression:
+        left = self.not_expr()
+        while self.current.kind == "OP" and self.current.text == "&&":
+            self.advance()
+            left = BooleanOp("&&", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expression:
+        # '!' is handled at factor level (tight binding, as in C) so that
+        # '!(x) + 1' negates only the parenthesised operand; this rung of
+        # the precedence ladder exists for grammar clarity.
+        return self.comparison()
+
+    def comparison(self) -> Expression:
+        left = self.additive()
+        if self.current.kind == "OP" and self.current.text in _COMPARE:
+            op = self.advance().text
+            return Comparison(op, left, self.additive())
+        return left
+
+    def additive(self) -> Expression:
+        left = self.term()
+        while self.current.kind == "OP" and self.current.text in ("+", "-"):
+            op = self.advance().text
+            left = BinaryOp(op, left, self.term())
+        return left
+
+    def term(self) -> Expression:
+        left = self.factor()
+        while self.current.kind == "OP" and self.current.text in ("*", "/"):
+            op = self.advance().text
+            left = BinaryOp(op, left, self.factor())
+        return left
+
+    def factor(self) -> Expression:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return Literal(float(token.text))
+        if token.kind == "KPIREF":
+            self.advance()
+            name = token.text[1:]  # strip '@'
+            return KPIRef(name, default=self.defaults.get(name))
+        if token.kind == "IDENT":
+            if token.text not in _WINDOW_OPS:
+                raise ExpressionError(
+                    f"unknown function {token.text!r} at position {token.pos}"
+                )
+            self.advance()
+            self.expect("LPAREN")
+            ref = self.expect("KPIREF")
+            name = ref.text[1:]
+            self.expect("COMMA")
+            number = self.expect("NUMBER")
+            self.expect("RPAREN")
+            return WindowOp(token.text, name, float(number.text),
+                            default=self.defaults.get(name))
+        if token.kind == "LPAREN":
+            self.advance()
+            expr = self.or_expr()
+            self.expect("RPAREN")
+            return expr
+        if token.kind == "OP" and token.text == "-":
+            self.advance()
+            return UnaryOp("-", self.factor())
+        if token.kind == "OP" and token.text == "!":
+            # Programmatic ASTs may nest '!' inside arithmetic; accept it
+            # anywhere a factor is legal so unparse() output always reparses.
+            self.advance()
+            return UnaryOp("!", self.factor())
+        raise ExpressionError(
+            f"unexpected token {token.text!r} at position {token.pos}"
+        )
+
+
+def parse_expression(text: str,
+                     defaults: Optional[dict[str, float]] = None
+                     ) -> Expression:
+    """Parse concrete condition syntax into an AST.
+
+    ``defaults`` maps KPI qualified names to the fallback values their
+    declarations carry; references pick them up at parse time.
+    """
+    if not text or not text.strip():
+        raise ExpressionError("empty expression")
+    return _Parser(text, defaults).parse()

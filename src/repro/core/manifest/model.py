@@ -1,0 +1,302 @@
+"""Abstract syntax of the service manifest (OVF core + extensions).
+
+§4.2.1: "The OVF descriptor is an XML-based document composed of three main
+parts: description of the files included in the overall service (disks, ISO
+images, etc.), meta-data for all virtual machines included, and a description
+of the different virtual machine systems. The description is structured into
+various 'Sections' ... <DiskSection> describes virtual disks,
+<NetworkSection> provides information regarding logical networks,
+<VirtualHardwareSection> describes hardware resource requirements of service
+components and <StartupSection> defines the virtual machine booting
+sequence."
+
+Extensions beyond stock OVF (per §4.1 and [13]): elastic instance bounds on
+virtual systems, placement/co-location constraints, the application
+description (:mod:`.adl`) and elasticity rules (:mod:`.elasticity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .adl import ApplicationDescription
+from .elasticity import ElasticityRule
+from .sla import SLASection
+
+__all__ = [
+    "FileReference",
+    "VirtualDisk",
+    "LogicalNetwork",
+    "VirtualHardware",
+    "InstanceBounds",
+    "VirtualSystem",
+    "StartupEntry",
+    "PlacementPolicySection",
+    "ColocationConstraint",
+    "AntiColocationConstraint",
+    "SitePlacement",
+    "ServiceManifest",
+]
+
+
+@dataclass(frozen=True)
+class FileReference:
+    """``<References><File ovf:id=... ovf:href=... ovf:size=.../>``"""
+
+    file_id: str
+    href: str
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if not self.file_id or not self.href:
+            raise ValueError("file reference needs id and href")
+        if self.size_mb <= 0:
+            raise ValueError(f"file {self.file_id}: size must be positive")
+
+
+@dataclass(frozen=True)
+class VirtualDisk:
+    """``<DiskSection><Disk ovf:diskId=... ovf:fileRef=.../>``"""
+
+    disk_id: str
+    file_ref: str
+    capacity_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.disk_id or not self.file_ref:
+            raise ValueError("disk needs id and fileRef")
+        if self.capacity_mb is not None and self.capacity_mb <= 0:
+            raise ValueError(f"disk {self.disk_id}: capacity must be positive")
+
+
+@dataclass(frozen=True)
+class LogicalNetwork:
+    """``<NetworkSection><Network ovf:name=.../>`` (MDL2)."""
+
+    name: str
+    description: str = ""
+    #: whether the network provides external (Internet-facing) connectivity
+    public: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("network name must be non-empty")
+
+
+@dataclass(frozen=True)
+class VirtualHardware:
+    """``<VirtualHardwareSection>``: CPU and memory demands (MDL1)."""
+
+    cpu: float = 1.0
+    memory_mb: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if self.cpu <= 0 or self.memory_mb <= 0:
+            raise ValueError("hardware requirements must be positive")
+
+
+@dataclass(frozen=True)
+class InstanceBounds:
+    """Elastic-array bounds for a virtual system ([13]: "elasticity rules
+    and bounds"). A fixed component has initial == min == max == 1."""
+
+    initial: int = 1
+    minimum: int = 1
+    maximum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ValueError("minimum must be non-negative")
+        if not (self.minimum <= self.initial <= self.maximum):
+            raise ValueError(
+                f"need minimum <= initial <= maximum, got "
+                f"{self.minimum}/{self.initial}/{self.maximum}"
+            )
+
+    @property
+    def elastic(self) -> bool:
+        return self.maximum > self.minimum
+
+
+@dataclass(frozen=True)
+class VirtualSystem:
+    """``<VirtualSystem ovf:id=...>``: one service component (MDL1, MDL6).
+
+    ``customisation`` holds OVF-environment product properties; values may
+    contain ``${placeholders}`` resolved at deployment time (e.g.
+    ``${ip.internal.CentralInstance}`` — MDL6's instance-specific
+    configuration such as dynamically assigned addresses).
+    """
+
+    system_id: str
+    info: str = ""
+    hardware: VirtualHardware = field(default_factory=VirtualHardware)
+    disk_refs: tuple[str, ...] = ()
+    network_refs: tuple[str, ...] = ()
+    customisation: tuple[tuple[str, str], ...] = ()
+    instances: InstanceBounds = field(default_factory=InstanceBounds)
+    #: whether the component may be replicated at all (the SAP Central
+    #: Instance "can not be replicated in any SAP system", §3)
+    replicable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.system_id:
+            raise ValueError("system_id must be non-empty")
+        if not self.replicable and self.instances.maximum > 1:
+            raise ValueError(
+                f"{self.system_id}: non-replicable component cannot have "
+                f"maximum instances {self.instances.maximum} > 1"
+            )
+
+    @property
+    def primary_disk(self) -> Optional[str]:
+        return self.disk_refs[0] if self.disk_refs else None
+
+    def customisation_dict(self) -> dict[str, str]:
+        return dict(self.customisation)
+
+
+@dataclass(frozen=True)
+class StartupEntry:
+    """``<StartupSection><Item ovf:id=... ovf:order=.../>`` (MDL4).
+
+    Lower order boots earlier; shutdown proceeds in reverse order. Systems
+    with equal order start concurrently.
+    """
+
+    system_id: str
+    order: int
+    #: wait for this system to be fully running before starting the next
+    #: order tier (OVF ``waitingForGuest`` analogue)
+    wait_for_guest: bool = True
+
+    def __post_init__(self) -> None:
+        if self.order < 0:
+            raise ValueError("startup order must be non-negative")
+
+
+@dataclass(frozen=True)
+class ColocationConstraint:
+    """MDL5: two components must share a host (SAP CI with its DBMS)."""
+
+    system_id: str
+    with_system_id: str
+
+    def __post_init__(self) -> None:
+        if self.system_id == self.with_system_id:
+            raise ValueError("co-location with itself is meaningless")
+
+
+@dataclass(frozen=True)
+class AntiColocationConstraint:
+    """MDL5: two components must not share a host."""
+
+    system_id: str
+    avoid_system_id: str
+
+    def __post_init__(self) -> None:
+        if self.system_id == self.avoid_system_id:
+            raise ValueError("anti-co-location with itself is contradictory")
+
+
+@dataclass(frozen=True)
+class SitePlacement:
+    """MDL5 administrative constraints: favour/avoid sites, trust."""
+
+    system_id: Optional[str] = None    # None = the whole service
+    favour_sites: tuple[str, ...] = ()
+    avoid_sites: tuple[str, ...] = ()
+    require_trusted: bool = False
+
+
+@dataclass(frozen=True)
+class PlacementPolicySection:
+    """The manifest's placement section grouping all MDL5 constraints."""
+
+    colocations: tuple[ColocationConstraint, ...] = ()
+    anti_colocations: tuple[AntiColocationConstraint, ...] = ()
+    site_placements: tuple[SitePlacement, ...] = ()
+    #: optional per-host cap entries: (system_id, max instances per host)
+    per_host_caps: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class ServiceManifest:
+    """The complete Service Definition Manifest.
+
+    "The manifest therefore serves as a contract between service and
+    infrastructure providers regarding the correct provisioning of a
+    service. It hence reifies key architectural constraints and invariants
+    at run-time so that they can be used by the Cloud." (§4.1)
+    """
+
+    service_name: str
+    references: tuple[FileReference, ...] = ()
+    disks: tuple[VirtualDisk, ...] = ()
+    networks: tuple[LogicalNetwork, ...] = ()
+    virtual_systems: tuple[VirtualSystem, ...] = ()
+    startup: tuple[StartupEntry, ...] = ()
+    placement: PlacementPolicySection = field(
+        default_factory=PlacementPolicySection)
+    application: Optional[ApplicationDescription] = None
+    elasticity_rules: tuple[ElasticityRule, ...] = ()
+    sla: SLASection = field(default_factory=SLASection)
+
+    def __post_init__(self) -> None:
+        if not self.service_name:
+            raise ValueError("service_name must be non-empty")
+
+    # -- lookups --------------------------------------------------------------
+    def file(self, file_id: str) -> FileReference:
+        for f in self.references:
+            if f.file_id == file_id:
+                return f
+        raise KeyError(f"no file reference {file_id!r}")
+
+    def disk(self, disk_id: str) -> VirtualDisk:
+        for d in self.disks:
+            if d.disk_id == disk_id:
+                return d
+        raise KeyError(f"no disk {disk_id!r}")
+
+    def network(self, name: str) -> LogicalNetwork:
+        for n in self.networks:
+            if n.name == name:
+                return n
+        raise KeyError(f"no network {name!r}")
+
+    def system(self, system_id: str) -> VirtualSystem:
+        for s in self.virtual_systems:
+            if s.system_id == system_id:
+                return s
+        raise KeyError(f"no virtual system {system_id!r}")
+
+    def system_ids(self) -> list[str]:
+        return [s.system_id for s in self.virtual_systems]
+
+    def startup_order(self) -> list[list[str]]:
+        """System ids grouped into boot tiers, earliest first; systems not
+        listed in the startup section form a final tier."""
+        listed = sorted(self.startup, key=lambda e: e.order)
+        tiers: dict[int, list[str]] = {}
+        for entry in listed:
+            tiers.setdefault(entry.order, []).append(entry.system_id)
+        result = [tiers[o] for o in sorted(tiers)]
+        unlisted = [s.system_id for s in self.virtual_systems
+                    if not any(e.system_id == s.system_id for e in listed)]
+        if unlisted:
+            result.append(unlisted)
+        return result
+
+    def image_href(self, system: VirtualSystem) -> str:
+        """Resolve a system's primary disk to its image href."""
+        if system.primary_disk is None:
+            raise KeyError(f"{system.system_id} has no disk")
+        disk = self.disk(system.primary_disk)
+        return self.file(disk.file_ref).href
+
+    def kpi_defaults(self) -> dict[str, float]:
+        if self.application is None:
+            return {}
+        return self.application.kpi_defaults()

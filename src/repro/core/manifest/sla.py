@@ -1,0 +1,119 @@
+"""Service-level objectives in the manifest (the paper's §8 future work).
+
+"In future work, we aim to develop appropriate syntax and semantics for
+resource provisioning service level agreements. Building upon the approach
+laid out here, we aim to provide a framework for the automated monitoring
+and protection of service level obligations based on defined semantic
+constraints."
+
+This module supplies that syntax, built from the same ingredients as the
+elasticity rules: an SLO is a named condition over KPI qualified names
+(reusing the §4.2.1 expression language, including the time-series window
+operations) that is expected to *hold*; compliance is assessed as the
+fraction of evaluations over an assessment window in which it held, against
+a target; breaching the target accrues a penalty. The run-time half —
+evaluation, violation records, penalty accounting, protection hooks — lives
+in :mod:`repro.core.sla`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .expressions import Expression, parse_expression
+
+__all__ = ["ServiceLevelObjective", "SLASection"]
+
+
+@dataclass(frozen=True)
+class ServiceLevelObjective:
+    """One obligation: a condition that should hold, how often, or else.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in violation records and penalty statements.
+    expression:
+        Condition over KPI qualified names that represents "the service is
+        healthy" — e.g. ``@com.shop.response.time < 2`` or
+        ``mean(@uk.ucl.condor.schedd.queuesize, 300) < 50``.
+    evaluation_period_s:
+        How often the monitor samples the condition.
+    target_compliance:
+        Fraction of samples in an assessment window that must hold
+        (e.g. 0.95). 1.0 means every sample must hold.
+    assessment_window_s:
+        Length of the sliding window over which compliance is assessed.
+    penalty_per_breach:
+        Credit owed to the service provider for each assessment window that
+        ends below target (arbitrary currency units).
+    """
+
+    name: str
+    expression: Expression
+    evaluation_period_s: float = 30.0
+    target_compliance: float = 0.95
+    assessment_window_s: float = 3600.0
+    penalty_per_breach: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLO name must be non-empty")
+        if self.evaluation_period_s <= 0:
+            raise ValueError(f"SLO {self.name}: period must be positive")
+        if not 0 < self.target_compliance <= 1:
+            raise ValueError(
+                f"SLO {self.name}: target compliance must be in (0, 1]"
+            )
+        if self.assessment_window_s < self.evaluation_period_s:
+            raise ValueError(
+                f"SLO {self.name}: assessment window shorter than the "
+                f"evaluation period"
+            )
+        if self.penalty_per_breach < 0:
+            raise ValueError(f"SLO {self.name}: penalty must be non-negative")
+
+    def kpi_references(self) -> set[str]:
+        return self.expression.kpi_references()
+
+    @classmethod
+    def from_text(cls, name: str, expression: str, *,
+                  evaluation_period_s: float = 30.0,
+                  target_compliance: float = 0.95,
+                  assessment_window_s: float = 3600.0,
+                  penalty_per_breach: float = 1.0,
+                  defaults: Optional[dict[str, float]] = None
+                  ) -> "ServiceLevelObjective":
+        return cls(
+            name=name,
+            expression=parse_expression(expression, defaults),
+            evaluation_period_s=evaluation_period_s,
+            target_compliance=target_compliance,
+            assessment_window_s=assessment_window_s,
+            penalty_per_breach=penalty_per_breach,
+        )
+
+
+@dataclass(frozen=True)
+class SLASection:
+    """The manifest's SLA section: the agreed objectives."""
+
+    objectives: tuple[ServiceLevelObjective, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate SLO names")
+
+    def objective(self, name: str) -> ServiceLevelObjective:
+        for o in self.objectives:
+            if o.name == name:
+                return o
+        raise KeyError(f"no SLO {name!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.objectives)
+
+    def __iter__(self):
+        return iter(self.objectives)

@@ -1,0 +1,159 @@
+"""Billing of service usage.
+
+§2: the Service Manager "performs other service management tasks, such as
+accounting and billing of service usage". §6.1.3 notes that "the actual
+financial costs will be dependent on the business models employed by Cloud
+infrastructure providers" — so the business model is pluggable: a
+:class:`PriceSchedule` maps components to instance-hour rates, and an
+:class:`Invoice` turns accounted usage (plus optional SLA credits) into a
+statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sla import SLAMonitor
+from .accounting import ServiceAccountant
+
+__all__ = ["PriceSchedule", "InvoiceLine", "Invoice", "BillingService"]
+
+
+@dataclass(frozen=True)
+class PriceSchedule:
+    """Instance-hour rates per component (currency units per hour).
+
+    ``rates`` maps component ids to hourly prices; components not listed pay
+    ``default_rate``. A one-off ``deployment_fee`` may be charged per
+    instance deployment (covers image replication and boot overheads some
+    providers bill separately).
+    """
+
+    rates: tuple[tuple[str, float], ...] = ()
+    default_rate: float = 0.10
+    deployment_fee: float = 0.0
+    currency: str = "EUR"
+
+    def __post_init__(self) -> None:
+        if self.default_rate < 0 or self.deployment_fee < 0:
+            raise ValueError("prices must be non-negative")
+        if any(rate < 0 for _, rate in self.rates):
+            raise ValueError("prices must be non-negative")
+        names = [name for name, _ in self.rates]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate component rates")
+
+    def rate_for(self, component: str) -> float:
+        for name, rate in self.rates:
+            if name == component:
+                return rate
+        return self.default_rate
+
+
+@dataclass(frozen=True)
+class InvoiceLine:
+    component: str
+    instance_hours: float
+    rate_per_hour: float
+    deployments: int
+    deployment_fee: float
+
+    @property
+    def usage_amount(self) -> float:
+        return self.instance_hours * self.rate_per_hour
+
+    @property
+    def amount(self) -> float:
+        return self.usage_amount + self.deployments * self.deployment_fee
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """One billing statement for a window of a service's life."""
+
+    service_id: str
+    window_start: float
+    window_end: float
+    lines: tuple[InvoiceLine, ...]
+    sla_credits: float = 0.0
+    currency: str = "EUR"
+
+    @property
+    def subtotal(self) -> float:
+        return sum(line.amount for line in self.lines)
+
+    @property
+    def total(self) -> float:
+        """Never negative: credits cap out at the usage charge."""
+        return max(self.subtotal - self.sla_credits, 0.0)
+
+    def render(self) -> str:
+        """Human-readable statement."""
+        out = [
+            f"Invoice — service {self.service_id} "
+            f"[{self.window_start:.0f}s .. {self.window_end:.0f}s]",
+            f"{'component':<20}{'inst-hours':>12}{'rate':>10}"
+            f"{'deploys':>9}{'amount':>12}",
+        ]
+        for line in self.lines:
+            out.append(
+                f"{line.component:<20}{line.instance_hours:>12.2f}"
+                f"{line.rate_per_hour:>10.3f}{line.deployments:>9}"
+                f"{line.amount:>12.2f}"
+            )
+        out.append(f"{'subtotal':<51}{self.subtotal:>12.2f}")
+        if self.sla_credits:
+            out.append(f"{'SLA credits':<51}{-self.sla_credits:>12.2f}")
+        out.append(f"{'total (' + self.currency + ')':<51}{self.total:>12.2f}")
+        return "\n".join(out)
+
+
+class BillingService:
+    """Prices accounted usage; applies SLA penalty credits."""
+
+    def __init__(self, accountant: ServiceAccountant,
+                 schedule: Optional[PriceSchedule] = None, *,
+                 sla_monitor: Optional[SLAMonitor] = None):
+        self.accountant = accountant
+        self.schedule = schedule if schedule is not None else PriceSchedule()
+        self.sla_monitor = sla_monitor
+        self._billed_deployments: dict[str, int] = {}
+        self._last_invoiced: float = 0.0
+
+    def invoice(self, start: float, end: Optional[float] = None) -> Invoice:
+        """Bill the usage between ``start`` and ``end`` (default: now).
+
+        Deployment fees are charged once per deployment, on the first
+        invoice issued after it happened (idempotent across invoices).
+        """
+        end = self.accountant.env.now if end is None else end
+        if end < start:
+            raise ValueError("end < start")
+        lines = []
+        for component in self.accountant.components():
+            usage = self.accountant.usage(component, start, end)
+            total_deploys = self.accountant.deployed_total.get(component, 0)
+            new_deploys = total_deploys - self._billed_deployments.get(
+                component, 0)
+            self._billed_deployments[component] = total_deploys
+            lines.append(InvoiceLine(
+                component=component,
+                instance_hours=usage.instance_seconds / 3600.0,
+                rate_per_hour=self.schedule.rate_for(component),
+                deployments=new_deploys,
+                deployment_fee=self.schedule.deployment_fee,
+            ))
+        credits = 0.0
+        if self.sla_monitor is not None:
+            credits = sum(
+                b.penalty for b in self.sla_monitor.breaches()
+                if start <= b.time <= end
+            )
+        self._last_invoiced = end
+        return Invoice(
+            service_id=self.accountant.service_id,
+            window_start=start, window_end=end,
+            lines=tuple(lines), sla_credits=credits,
+            currency=self.schedule.currency,
+        )

@@ -1,0 +1,177 @@
+"""The Service Manager facade.
+
+Ties together the components of Fig. 7: manifest parser, service lifecycle
+manager, rule engine and the internal image server, over one VEEM and one
+monitoring network. Exposes the Service Provider-facing deployment interface
+(§5.1): submit a manifest, receive a managed service handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ...cloud.veem import VEEM
+from ...monitoring.distribution import DistributionFramework, MulticastChannel
+from ...sim import Environment, TraceLog
+from ..constraints.deployment import deployment_suite
+from ..constraints.framework import CheckReport
+from ..manifest.elasticity import ElasticityAction, ElasticityRule, VEEMOperation
+from ..manifest.model import ServiceManifest
+from .lifecycle import ComponentDriver, ScaleError, ServiceLifecycleManager
+from .parser import ManifestParser, ParsedService
+from .rules import RuleInterpreter
+
+__all__ = ["ManagedService", "ServiceManager"]
+
+
+@dataclass
+class ManagedService:
+    """Handle for one deployed service."""
+
+    parsed: ParsedService
+    lifecycle: ServiceLifecycleManager
+    interpreter: RuleInterpreter
+    deployment: object = None  # Process; join to await full deployment
+    _suite: object = field(default=None, repr=False)
+
+    @property
+    def service_id(self) -> str:
+        return self.parsed.service_id
+
+    def check_constraints(self) -> CheckReport:
+        """Run the §4.2.2 semantic suite against current state."""
+        return self._suite.check(self.lifecycle.provisioning_domain())
+
+    def instance_count(self, system_id: str) -> int:
+        return self.lifecycle.instance_count(system_id)
+
+
+class ServiceManager:
+    """The top RESERVOIR layer: Service Provider-facing management."""
+
+    def __init__(self, env: Environment, veem: VEEM, *,
+                 network: Optional[DistributionFramework] = None,
+                 trace: Optional[TraceLog] = None,
+                 eval_period_s: Optional[float] = None):
+        self.env = env
+        self.veem = veem
+        self.network = network or MulticastChannel(env)
+        self.trace = trace if trace is not None else veem.trace
+        self.parser = ManifestParser()
+        self.services: dict[str, ManagedService] = {}
+        self._eval_period_s = eval_period_s
+
+    # ------------------------------------------------------------------
+    # Deployment interface (§5.1.1)
+    # ------------------------------------------------------------------
+    def deploy(self, manifest: Union[str, ServiceManifest], *,
+               service_id: Optional[str] = None,
+               drivers: Optional[dict[str, ComponentDriver]] = None,
+               start_rules: bool = True) -> ManagedService:
+        """Steps 1–7: parse, install rules, set up images, deploy VEEs.
+
+        Returns immediately with the deployment running as a process (join
+        ``service.deployment`` to await step-7 completion). ``drivers`` maps
+        system ids to application-level component drivers.
+        """
+        # Step 1: parse + validate.
+        parsed = self.parser.parse(manifest, service_id=service_id)
+        # Step 2: deployment command to the lifecycle manager.
+        lifecycle = ServiceLifecycleManager(self.env, parsed, self.veem,
+                                            trace=self.trace)
+        for system_id, driver in (drivers or {}).items():
+            lifecycle.use_driver(system_id, driver)
+        # Step 3: install the elasticity rules in the rule engine.
+        interpreter = RuleInterpreter(
+            self.env, parsed.service_id,
+            executor=self._make_executor(lifecycle, parsed),
+            trace=self.trace,
+            eval_period_s=self._eval_period_s,
+            kpi_defaults=parsed.manifest.kpi_defaults(),
+        )
+        interpreter.install_all(parsed.rules())
+        interpreter.subscribe_to(self.network)
+        if start_rules and parsed.rules():
+            interpreter.start()
+        # Steps 4–7 run as a process.
+        deployment = self.env.process(
+            lifecycle.deploy_service(),
+            name=f"deploy-service:{parsed.service_id}",
+        )
+        service = ManagedService(
+            parsed=parsed, lifecycle=lifecycle, interpreter=interpreter,
+            deployment=deployment, _suite=deployment_suite(),
+        )
+        self.services[parsed.service_id] = service
+        return service
+
+    def undeploy(self, service: ManagedService):
+        """Terminate a service; returns the termination process."""
+        service.interpreter.stop()
+        return self.env.process(
+            service.lifecycle.terminate_service(),
+            name=f"terminate:{service.service_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Elasticity action execution (§5.1.2 steps 3–5)
+    # ------------------------------------------------------------------
+    def _make_executor(self, lifecycle: ServiceLifecycleManager,
+                       parsed: ParsedService):
+        def execute(action: ElasticityAction, rule: ElasticityRule) -> bool:
+            op = action.operation
+            if op is VEEMOperation.NOTIFY:
+                self.trace.emit("service-manager", "notify",
+                                service=parsed.service_id, rule=rule.name)
+                return True
+            target = parsed.resolve_action_target(action.component_ref)
+            if target is None:
+                self.trace.emit("service-manager", "action.unresolved",
+                                service=parsed.service_id,
+                                ref=action.component_ref)
+                return False
+            try:
+                if op is VEEMOperation.DEPLOY_VM:
+                    lifecycle.scale_up(target)
+                elif op is VEEMOperation.UNDEPLOY_VM:
+                    lifecycle.scale_down(target)
+                elif op is VEEMOperation.RECONFIGURE_VM:
+                    kwargs = _parse_resize_args(action.arguments)
+                    if not kwargs:
+                        return False
+                    lifecycle.reconfigure(target, **kwargs)
+                elif op is VEEMOperation.MIGRATE_VM:
+                    if lifecycle.migrate_for_balance(target) is None:
+                        return False
+                else:  # pragma: no cover - enum is closed
+                    return False
+            except ScaleError as exc:
+                self.trace.emit("service-manager", "action.refused",
+                                service=parsed.service_id, rule=rule.name,
+                                reason=str(exc))
+                return False
+            except Exception as exc:
+                self.trace.emit("service-manager", "action.failed",
+                                service=parsed.service_id, rule=rule.name,
+                                error=str(exc))
+                return False
+            return True
+
+        return execute
+
+
+def _parse_resize_args(arguments: tuple[str, ...]) -> dict[str, float]:
+    """``reconfigureVM(db, cpu=2, memory_mb=4096)`` argument parsing."""
+    kwargs: dict[str, float] = {}
+    for arg in arguments:
+        if "=" not in arg:
+            continue
+        key, _, value = arg.partition("=")
+        key = key.strip()
+        if key in ("cpu", "memory_mb"):
+            try:
+                kwargs[key] = float(value)
+            except ValueError:
+                continue
+    return kwargs

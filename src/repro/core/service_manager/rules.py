@@ -1,0 +1,247 @@
+"""The rule engine (RuleInterpreter) — §5.1's Drools-equivalent.
+
+Implements the §4.2.2 OCL contract precisely:
+
+* ``notify(e: Event)`` — incoming monitoring events are appended to the
+  record store (here: latest-value per qualified name plus full journal for
+  the validator);
+* ``evaluate(qe: QualifiedElement)`` — the latest record's value, else the
+  KPI's declared default;
+* ``evaluateRules()`` — for every installed rule whose condition evaluates
+  ``> 0``, the associated actions are invoked against the VEEM interface.
+
+Evaluation scheduling follows §4.2.2's guidance: "it is for the
+implementation to determine when the rules should be checked to fit within
+particular timing constraints rather than tying checks to the reception of
+any specific monitoring event" — the interpreter runs a periodic evaluation
+loop whose period defaults to half the tightest rule time-constraint, so
+every enabling event is acted on inside its window. A per-rule cooldown
+(defaulting to the time constraint) prevents duplicate responses to one
+sustained condition spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ...monitoring.consumers import MeasurementJournal, MeasurementStore
+from ...monitoring.distribution import DistributionFramework
+from ...monitoring.measurements import Measurement
+from ...sim import Environment, Interrupt, TraceLog
+from ..manifest.elasticity import ElasticityAction, ElasticityRule
+from ..manifest.expressions import EvaluationContext
+
+__all__ = ["RuleFiring", "RuleInterpreter"]
+
+#: Executes one action; returns True if the action was actually carried out
+#: (False = refused, e.g. scale-down with nothing left to remove).
+ActionExecutor = Callable[[ElasticityAction, ElasticityRule], bool]
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """A record of one rule firing (for audits and the instruments)."""
+
+    time: float
+    rule: str
+    actions_run: int
+
+
+@dataclass
+class _InstalledRule:
+    rule: ElasticityRule
+    last_fired: Optional[float] = None
+    firings: int = 0
+    suppressed_evaluations: int = 0
+
+
+class RuleInterpreter:
+    """Per-service ECA engine installed by the Service Lifecycle Manager."""
+
+    def __init__(self, env: Environment, service_id: str, *,
+                 executor: ActionExecutor,
+                 trace: Optional[TraceLog] = None,
+                 eval_period_s: Optional[float] = None,
+                 kpi_defaults: Optional[dict[str, float]] = None):
+        self.env = env
+        self.service_id = service_id
+        self.executor = executor
+        self.trace = trace if trace is not None else TraceLog(env)
+        self.store = MeasurementStore()
+        self.journal = MeasurementJournal()
+        self._rules: dict[str, _InstalledRule] = {}
+        self._defaults = dict(kpi_defaults or {})
+        self._explicit_period = eval_period_s
+        self._loop = None
+        self.firings: list[RuleFiring] = []
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Installation (§5.1.1 step 3)
+    # ------------------------------------------------------------------
+    def install(self, rule: ElasticityRule) -> None:
+        if rule.name in self._rules:
+            raise ValueError(f"rule {rule.name!r} already installed")
+        self._rules[rule.name] = _InstalledRule(rule)
+        self._restart_loop()
+
+    def install_all(self, rules) -> None:
+        for rule in rules:
+            self.install(rule)
+
+    def uninstall(self, name: str) -> None:
+        if name not in self._rules:
+            raise ValueError(f"no rule {name!r} installed")
+        del self._rules[name]
+        self._restart_loop()
+
+    @property
+    def rules(self) -> list[ElasticityRule]:
+        return [ir.rule for ir in self._rules.values()]
+
+    @property
+    def eval_period_s(self) -> float:
+        if self._explicit_period is not None:
+            return self._explicit_period
+        if not self._rules:
+            return 5.0
+        return min(ir.rule.trigger.time_constraint_s
+                   for ir in self._rules.values()) / 2.0
+
+    # ------------------------------------------------------------------
+    # Monitoring input (OCL: RuleInterpreter::notify)
+    # ------------------------------------------------------------------
+    def notify(self, measurement: Measurement) -> None:
+        if measurement.service_id != self.service_id:
+            return  # multiple service instances operate independently
+        self.store.notify(measurement)
+        self.journal.notify(measurement)
+
+    def subscribe_to(self, network: DistributionFramework) -> None:
+        network.subscribe(self.notify, service_id=self.service_id)
+
+    # ------------------------------------------------------------------
+    # Evaluation (OCL: RuleInterpreter::evaluateRules / evaluate)
+    # ------------------------------------------------------------------
+    #: built-in monitorable parameters (§4.2.1: "the current time can be
+    #: introduced as a monitorable parameter if necessary") — resolved when
+    #: no application measurement shadows them
+    TIME_NOW = "system.time.now"
+    TIME_OF_DAY = "system.time.timeofday"
+
+    def _bindings(self, name: str) -> Optional[float]:
+        """OCL evaluate(QualifiedElement): latest record value or None (the
+        KPIRef falls back to its declared default)."""
+        value = self.store.value(self.service_id, name)
+        if value is not None:
+            return float(value)
+        if name == self.TIME_NOW:
+            return self.env.now
+        if name == self.TIME_OF_DAY:
+            return self.env.now % 86400.0
+        return self._defaults.get(name)
+
+    def _window(self, name: str, window_s: float, op: str) -> Optional[float]:
+        """Trailing-window aggregation over the journal, for the §4.2.1
+        time-series operations (mean/min/max/count)."""
+        since = self.env.now - window_s
+        until = self.env.now
+        if op == "mean":
+            return self.journal.window_mean(self.service_id, name,
+                                            since, until)
+        if op == "min":
+            return self.journal.window_min(self.service_id, name,
+                                           since, until)
+        if op == "max":
+            return self.journal.window_max(self.service_id, name,
+                                           since, until)
+        if op == "count":
+            return float(len(self.journal.window(self.service_id, name,
+                                                 since, until)))
+        raise ValueError(f"unknown window operation {op!r}")
+
+    def evaluation_context(self) -> EvaluationContext:
+        """Window-capable bindings over the live store and journal."""
+        return EvaluationContext(latest=self._bindings, window=self._window)
+
+    def evaluate_rules(self) -> list[RuleFiring]:
+        """One evaluation pass over every installed rule."""
+        self.evaluations += 1
+        fired: list[RuleFiring] = []
+        for installed in list(self._rules.values()):
+            rule = installed.rule
+            if (installed.last_fired is not None
+                    and self.env.now < installed.last_fired
+                    + rule.effective_cooldown_s):
+                continue
+            try:
+                holds = rule.trigger.expression.holds(
+                    self.evaluation_context())
+            except Exception as exc:
+                self.trace.emit("rule-engine", "rule.error",
+                                rule=rule.name, service=self.service_id,
+                                error=str(exc))
+                continue
+            if not holds:
+                continue
+            actions_run = 0
+            for action in rule.actions:
+                if self.executor(action, rule):
+                    actions_run += 1
+                    self.trace.emit(
+                        "rule-engine", "elasticity.action",
+                        rule=rule.name, service=self.service_id,
+                        operation=action.operation.value,
+                        component_ref=action.component_ref,
+                    )
+            if actions_run:
+                installed.last_fired = self.env.now
+                installed.firings += 1
+                firing = RuleFiring(self.env.now, rule.name, actions_run)
+                self.firings.append(firing)
+                fired.append(firing)
+            else:
+                installed.suppressed_evaluations += 1
+        return fired
+
+    # ------------------------------------------------------------------
+    # Periodic evaluation loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._loop is None or not self._loop.is_alive:
+            self._loop = self.env.process(
+                self._evaluation_loop(),
+                name=f"rule-engine:{self.service_id}",
+            )
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_alive:
+            self._loop.interrupt("engine stopped")
+        self._loop = None
+
+    def _restart_loop(self) -> None:
+        # Period may have changed with the rule set; a running loop picks
+        # the new period up on its next iteration, so nothing to do.
+        pass
+
+    def _evaluation_loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.eval_period_s)
+                self.evaluate_rules()
+        except Interrupt:
+            pass
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "firings": ir.firings,
+                "suppressed": ir.suppressed_evaluations,
+                "last_fired": ir.last_fired,
+            }
+            for name, ir in self._rules.items()
+        }

@@ -1,0 +1,42 @@
+"""Experiment harness reproducing the paper's evaluation (§6).
+
+* :mod:`~repro.experiments.polymorph` — the Table 3 / Fig. 11 runs
+  (dedicated vs. elastic polymorph search);
+* :mod:`~repro.experiments.fig11` — series extraction and text rendering of
+  Fig. 11;
+* :mod:`~repro.experiments.weekly` — the §6.1.4 weekly-usage estimate.
+"""
+
+from .fig11 import Fig11Series, extract_series, render_ascii_chart, render_run
+from .polymorph import (
+    IDLE_KPI,
+    INSTANCES_KPI,
+    QUEUE_KPI,
+    RunResult,
+    TestbedConfig,
+    polymorph_manifest,
+    run_dedicated,
+    run_elastic,
+    table3,
+)
+from .weekly import SearchRecord, WeeklyConfig, WeeklyResult, run_week
+
+__all__ = [
+    "Fig11Series",
+    "extract_series",
+    "render_ascii_chart",
+    "render_run",
+    "IDLE_KPI",
+    "INSTANCES_KPI",
+    "QUEUE_KPI",
+    "RunResult",
+    "TestbedConfig",
+    "polymorph_manifest",
+    "run_dedicated",
+    "run_elastic",
+    "table3",
+    "SearchRecord",
+    "WeeklyConfig",
+    "WeeklyResult",
+    "run_week",
+]

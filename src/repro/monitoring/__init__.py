@@ -1,0 +1,70 @@
+"""The RESERVOIR monitoring framework (§5.2 of the paper).
+
+Producers and consumers of monitoring data joined by an interchangeable
+distribution framework; probes describe themselves via data dictionaries held
+in a DHT-backed information model, so measurements travel values-only in a
+compact XDR encoding.
+"""
+
+from .adaptive import HIGH, LOW, NORMAL, AdaptiveRateController
+from .agents import AggregatingKPI, MonitoringAgent
+from .codec import (
+    CodecError,
+    decode_measurement,
+    decode_value,
+    encode_measurement,
+    encode_value,
+    naive_json_size,
+)
+from .consumers import MeasurementJournal, MeasurementStore
+from .dht import DHTError, DHTNode, DHTRing
+from .distribution import (
+    DistributionFramework,
+    MulticastChannel,
+    PubSubBroker,
+    topic_for,
+)
+from .infomodel import ElaboratedValue, InformationModel
+from .measurements import (
+    AttributeType,
+    DataDictionary,
+    Measurement,
+    ProbeAttribute,
+    validate_qualified_name,
+)
+from .probes import DataSource, Probe
+from .relay import MonitoringRelay
+
+__all__ = [
+    "HIGH",
+    "LOW",
+    "NORMAL",
+    "AdaptiveRateController",
+    "AggregatingKPI",
+    "MonitoringAgent",
+    "CodecError",
+    "decode_measurement",
+    "decode_value",
+    "encode_measurement",
+    "encode_value",
+    "naive_json_size",
+    "MeasurementJournal",
+    "MeasurementStore",
+    "DHTError",
+    "DHTNode",
+    "DHTRing",
+    "DistributionFramework",
+    "MulticastChannel",
+    "PubSubBroker",
+    "topic_for",
+    "ElaboratedValue",
+    "InformationModel",
+    "AttributeType",
+    "DataDictionary",
+    "Measurement",
+    "ProbeAttribute",
+    "validate_qualified_name",
+    "DataSource",
+    "Probe",
+    "MonitoringRelay",
+]

@@ -1,0 +1,187 @@
+"""XDR wire encoding for measurements.
+
+§5.2.6: "The current implementation is written in Java, and the output for
+each type currently uses XDR. As such each type defined uses the same byte
+layout for each type as defined in the XDR specification. All of this type
+data is used by a measurement decoder in order to determine the actual type
+and size of the next piece of data in a packet."
+
+We implement the XDR subset (RFC 4506) the monitoring system needs: int,
+hyper, float, double, bool and string — big-endian, 4-byte aligned. Each
+value on the wire is prefixed by a one-byte type tag so the decoder is
+self-describing at the value level, while attribute *names and units* are
+deliberately NOT transmitted ("the measurement meta-data is not transmitted
+each time, but is kept separately in an information model", §5.2.2) — that
+is the size saving the paper's design argues for, and the ablation bench
+measures it against a naive JSON encoding.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from .measurements import AttributeType, Measurement
+
+__all__ = [
+    "CodecError",
+    "encode_value",
+    "decode_value",
+    "encode_measurement",
+    "decode_measurement",
+    "naive_json_size",
+]
+
+
+class CodecError(Exception):
+    """Malformed wire data or unsupported value."""
+
+
+#: one-byte tags identifying the XDR type of the next value
+_TAGS: dict[AttributeType, int] = {
+    AttributeType.INTEGER: 0x01,
+    AttributeType.LONG: 0x02,
+    AttributeType.FLOAT: 0x03,
+    AttributeType.DOUBLE: 0x04,
+    AttributeType.BOOLEAN: 0x05,
+    AttributeType.STRING: 0x06,
+}
+_TYPES = {tag: t for t, tag in _TAGS.items()}
+
+
+def _pad4(n: int) -> int:
+    """Bytes of zero padding to reach 4-byte alignment (XDR rule)."""
+    return (4 - n % 4) % 4
+
+
+def encode_value(value: Any, type_: AttributeType | None = None) -> bytes:
+    """Encode one value as tag + XDR body."""
+    t = type_ or AttributeType.for_python_value(value)
+    if not t.accepts(value):
+        raise CodecError(f"{value!r} is not a valid {t.value}")
+    tag = bytes([_TAGS[t]])
+    if t is AttributeType.INTEGER:
+        return tag + struct.pack(">i", value)
+    if t is AttributeType.LONG:
+        return tag + struct.pack(">q", value)
+    if t is AttributeType.FLOAT:
+        return tag + struct.pack(">f", value)
+    if t is AttributeType.DOUBLE:
+        return tag + struct.pack(">d", value)
+    if t is AttributeType.BOOLEAN:
+        return tag + struct.pack(">i", 1 if value else 0)
+    if t is AttributeType.STRING:
+        raw = value.encode("utf-8")
+        return (tag + struct.pack(">I", len(raw)) + raw
+                + b"\x00" * _pad4(len(raw)))
+    raise CodecError(f"unsupported type {t}")  # pragma: no cover
+
+
+def decode_value(buf: bytes, offset: int = 0) -> tuple[Any, int]:
+    """Decode one tagged value; returns (value, next offset)."""
+    if offset >= len(buf):
+        raise CodecError("truncated buffer: no type tag")
+    try:
+        t = _TYPES[buf[offset]]
+    except KeyError:
+        raise CodecError(f"unknown type tag {buf[offset]:#x}") from None
+    offset += 1
+    try:
+        if t is AttributeType.INTEGER:
+            return struct.unpack_from(">i", buf, offset)[0], offset + 4
+        if t is AttributeType.LONG:
+            return struct.unpack_from(">q", buf, offset)[0], offset + 8
+        if t is AttributeType.FLOAT:
+            return struct.unpack_from(">f", buf, offset)[0], offset + 4
+        if t is AttributeType.DOUBLE:
+            return struct.unpack_from(">d", buf, offset)[0], offset + 8
+        if t is AttributeType.BOOLEAN:
+            return bool(struct.unpack_from(">i", buf, offset)[0]), offset + 4
+        if t is AttributeType.STRING:
+            (length,) = struct.unpack_from(">I", buf, offset)
+            offset += 4
+            end = offset + length
+            padded_end = end + _pad4(length)
+            if padded_end > len(buf):
+                raise CodecError("truncated string body")
+            value = buf[offset:end].decode("utf-8")
+            return value, padded_end
+    except struct.error as exc:
+        raise CodecError(f"truncated buffer: {exc}") from exc
+    raise CodecError(f"unsupported type {t}")  # pragma: no cover
+
+
+#: wire-format magic + version, guarding against stream desync
+_MAGIC = b"RMON"
+_VERSION = 1
+
+
+def encode_measurement(m: Measurement) -> bytes:
+    """Encode a full measurement packet.
+
+    Layout: magic, version, qualified name, service id, probe id, seqno
+    (hyper), timestamp (double), value count (int), then tagged values.
+    """
+    parts = [
+        _MAGIC,
+        struct.pack(">I", _VERSION),
+        encode_value(m.qualified_name),
+        encode_value(m.service_id),
+        encode_value(m.probe_id),
+        encode_value(m.seqno, AttributeType.LONG),
+        encode_value(m.timestamp, AttributeType.DOUBLE),
+        struct.pack(">I", len(m.values)),
+    ]
+    parts.extend(encode_value(v) for v in m.values)
+    return b"".join(parts)
+
+
+def decode_measurement(buf: bytes) -> Measurement:
+    """Decode a packet produced by :func:`encode_measurement`."""
+    if buf[:4] != _MAGIC:
+        raise CodecError("bad magic: not a measurement packet")
+    (version,) = struct.unpack_from(">I", buf, 4)
+    if version != _VERSION:
+        raise CodecError(f"unsupported wire version {version}")
+    offset = 8
+    qname, offset = decode_value(buf, offset)
+    service_id, offset = decode_value(buf, offset)
+    probe_id, offset = decode_value(buf, offset)
+    seqno, offset = decode_value(buf, offset)
+    timestamp, offset = decode_value(buf, offset)
+    try:
+        (count,) = struct.unpack_from(">I", buf, offset)
+    except struct.error as exc:
+        raise CodecError("truncated value count") from exc
+    offset += 4
+    values = []
+    for _ in range(count):
+        value, offset = decode_value(buf, offset)
+        values.append(value)
+    return Measurement(
+        qualified_name=qname, service_id=service_id, probe_id=probe_id,
+        timestamp=timestamp, values=tuple(values), seqno=seqno,
+    )
+
+
+def naive_json_size(m: Measurement, attribute_names: list[str],
+                    units: list[str]) -> int:
+    """Bytes a self-describing JSON encoding would need for the same event.
+
+    The comparison baseline for the codec-size ablation: sending names,
+    units and values in every packet (what the information-model split
+    avoids).
+    """
+    doc = {
+        "qualified_name": m.qualified_name,
+        "service_id": m.service_id,
+        "probe_id": m.probe_id,
+        "seqno": m.seqno,
+        "timestamp": m.timestamp,
+        "values": [
+            {"name": n, "units": u, "value": v}
+            for n, u, v in zip(attribute_names, units, m.values)
+        ],
+    }
+    return len(json.dumps(doc).encode("utf-8"))

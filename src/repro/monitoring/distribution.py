@@ -1,0 +1,145 @@
+"""The measurement distribution framework.
+
+§5.2.5: "We need a mechanism that allows for multiple submitters and multiple
+receivers of data without having vast numbers of network connections ...
+Solutions to this include IP multicast, Event Service Bus, or
+publish/subscribe mechanism. In each of these, a producer of data only needs
+to send one copy of a measurement onto the network, and each of the consumers
+will be able to collect the same packet of data concurrently."
+
+§5.2.1: "The collection of the data and the distribution of data are dealt
+with by different elements of the monitoring system so that it is possible to
+change the distribution framework without changing all the producers and
+consumers" — hence the abstract :class:`DistributionFramework` with two
+interchangeable implementations:
+
+* :class:`MulticastChannel` — every subscriber sees every packet (IP
+  multicast style); filtering happens at the consumer.
+* :class:`PubSubBroker` — topic-based routing on (service id, qualified
+  name); the network only delivers packets a consumer asked for.
+
+Both carry *encoded* packets (bytes) to keep producers honest about the wire
+format, and both account delivered volume so experiments can compare network
+utilisation.
+"""
+
+from __future__ import annotations
+
+import abc
+import fnmatch
+from typing import Callable, Optional
+
+from ..sim import Environment
+from .codec import decode_measurement, encode_measurement
+from .measurements import Measurement
+
+__all__ = [
+    "DistributionFramework",
+    "MulticastChannel",
+    "PubSubBroker",
+    "topic_for",
+]
+
+#: A consumer callback receives the decoded measurement.
+ConsumerCallback = Callable[[Measurement], None]
+
+
+def topic_for(service_id: str, qualified_name: str) -> str:
+    """Canonical topic string for pub/sub routing."""
+    return f"{service_id}/{qualified_name}"
+
+
+class DistributionFramework(abc.ABC):
+    """Producer/consumer fabric for measurement packets."""
+
+    def __init__(self, env: Environment, *, latency_s: float = 0.0):
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.latency_s = latency_s
+        #: delivered volume accounting (bytes that reached consumers)
+        self.bytes_delivered = 0
+        #: injected volume accounting (bytes sent by producers)
+        self.bytes_published = 0
+        self.packets_published = 0
+
+    def publish(self, measurement: Measurement) -> None:
+        """Encode and send one measurement into the fabric."""
+        packet = encode_measurement(measurement)
+        self.bytes_published += len(packet)
+        self.packets_published += 1
+        if self.latency_s == 0:
+            self._deliver(packet)
+        else:
+            self.env.process(self._delayed(packet), name="mon-delivery")
+
+    def _delayed(self, packet: bytes):
+        yield self.env.timeout(self.latency_s)
+        self._deliver(packet)
+
+    @abc.abstractmethod
+    def _deliver(self, packet: bytes) -> None:
+        """Route an encoded packet to the appropriate consumers."""
+
+    @abc.abstractmethod
+    def subscribe(self, callback: ConsumerCallback, *,
+                  service_id: Optional[str] = None,
+                  qualified_name: Optional[str] = None) -> None:
+        """Register a consumer. ``None`` filters mean "everything"; the
+        qualified name may be a glob pattern (``uk.ucl.condor.*``)."""
+
+
+class MulticastChannel(DistributionFramework):
+    """IP-multicast-style delivery: one packet, every subscriber sees it.
+
+    Subscription filters are applied *at the consumer* after decode, as a
+    host's kernel would after joining the multicast group — the whole packet
+    still traverses the network to every member, which the byte accounting
+    reflects.
+    """
+
+    def __init__(self, env: Environment, *, latency_s: float = 0.0):
+        super().__init__(env, latency_s=latency_s)
+        self._members: list[tuple[Optional[str], Optional[str],
+                                  ConsumerCallback]] = []
+
+    def subscribe(self, callback: ConsumerCallback, *,
+                  service_id: Optional[str] = None,
+                  qualified_name: Optional[str] = None) -> None:
+        self._members.append((service_id, qualified_name, callback))
+
+    def _deliver(self, packet: bytes) -> None:
+        measurement = decode_measurement(packet)
+        for service_id, pattern, callback in self._members:
+            self.bytes_delivered += len(packet)  # every member receives it
+            if service_id is not None and measurement.service_id != service_id:
+                continue
+            if pattern is not None and not fnmatch.fnmatchcase(
+                    measurement.qualified_name, pattern):
+                continue
+            callback(measurement)
+
+
+class PubSubBroker(DistributionFramework):
+    """Topic-routed delivery: only matching subscribers receive the packet."""
+
+    def __init__(self, env: Environment, *, latency_s: float = 0.0):
+        super().__init__(env, latency_s=latency_s)
+        self._subscriptions: list[tuple[Optional[str], Optional[str],
+                                        ConsumerCallback]] = []
+
+    def subscribe(self, callback: ConsumerCallback, *,
+                  service_id: Optional[str] = None,
+                  qualified_name: Optional[str] = None) -> None:
+        self._subscriptions.append((service_id, qualified_name, callback))
+
+    def _deliver(self, packet: bytes) -> None:
+        measurement = decode_measurement(packet)
+        for service_id, pattern, callback in self._subscriptions:
+            if service_id is not None and measurement.service_id != service_id:
+                continue
+            if pattern is not None and not fnmatch.fnmatchcase(
+                    measurement.qualified_name, pattern):
+                continue
+            self.bytes_delivered += len(packet)  # only matched deliveries
+            callback(measurement)

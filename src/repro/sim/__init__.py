@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate.
+
+The kernel on which the whole reproduction runs: event loop and processes
+(:mod:`~repro.sim.kernel`), shared resources (:mod:`~repro.sim.resources`),
+structured tracing and time-series recording (:mod:`~repro.sim.tracing`), and
+seeded random streams (:mod:`~repro.sim.rng`).
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimError,
+    StopProcess,
+    Timeout,
+)
+from .resources import Container, FilterStore, Resource, Store
+from .rng import RandomStreams, lognormal_from_mean_cv, truncated_normal
+from .tracing import SeriesRecorder, TimeSeries, TraceLog, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimError",
+    "StopProcess",
+    "Timeout",
+    "Container",
+    "FilterStore",
+    "Resource",
+    "Store",
+    "RandomStreams",
+    "lognormal_from_mean_cv",
+    "truncated_normal",
+    "SeriesRecorder",
+    "TimeSeries",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,470 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction — hosts, hypervisors, the VEEM, the Service
+Manager's rule engine, monitoring probes and the Condor-like grid — runs on
+this kernel. It provides a priority-queue event loop with generator-based
+processes, in the style of SimPy but self-contained.
+
+Design notes
+------------
+* Time is a ``float`` in seconds. The kernel makes no assumption about wall
+  clock; experiments run simulated hours in milliseconds of CPU time.
+* Processes are Python generators that ``yield`` *waitables*: :class:`Timeout`,
+  :class:`Event`, :class:`Process` (join), :class:`AnyOf`/:class:`AllOf`
+  combinators, or acquisition requests from :mod:`repro.sim.resources`.
+* Event ordering is deterministic: ties on the timestamp are broken by a
+  monotonically increasing sequence number, so a seeded run always replays
+  identically. This matters for reproducible experiments (Fig. 11 traces).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimError",
+    "Interrupt",
+    "StopProcess",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Environment",
+]
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopProcess(Exception):
+    """Raised by a process to terminate itself early with a return value."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+#: Sentinel for "event has not yet been given a value".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled to fire and carrying a value), and *processed* (callbacks run).
+    Events may succeed (:meth:`succeed`) or fail (:meth:`fail`); waiting on a
+    failed event re-raises its exception inside the waiting process.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: If a failed event is never waited on, its exception would be lost;
+        #: the kernel re-raises it at the end of the run unless ``defused``.
+        self.defused = False
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self.triggered:
+            raise SimError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Chain: trigger this event with the state of another event."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    The generator's ``return`` value (or :class:`StopProcess` value) becomes
+    the event value, so ``yield some_process`` implements *join*.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        super().__init__(env)
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None  # event the process is waiting on
+        # Kick off on a zero-delay "initialize" event, at URGENT priority so
+        # the process starts before same-time normal events (in particular
+        # interrupts delivered in the same instant it was created).
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init, priority=Environment.URGENT)
+        self._init_event = init
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a process that has not yet had its first resume is
+        legal: the init event (scheduled URGENT) starts the generator first,
+        so the interrupt lands on its first yield — throwing into an
+        unstarted generator would bypass the process's try/except.
+        """
+        if self.triggered:
+            raise SimError(f"{self.name} has already terminated")
+        not_started = self._target is self._init_event
+        if (not not_started and self._target is not None
+                and self._target.callbacks is not None):
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        # Deliver the interrupt via an immediately-scheduled failed event that
+        # is routed through the process's resume logic.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event)
+        if not not_started:
+            self._target = event
+
+    # -- internal ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Stale wakeup: the process finished before this event fired
+            # (e.g. an interrupt aimed at a process that completed during
+            # its very first resume). Nothing to deliver to.
+            if not event._ok:
+                event.defused = True
+            return
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._finish(True, stop.value)
+                break
+            except StopProcess as stop:
+                self._generator.close()
+                self._finish(True, stop.value)
+                break
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self._finish(False, exc)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                self._finish(False, exc)
+                break
+
+            if next_event.callbacks is not None:
+                # Event still pending/triggered-but-unprocessed: park here.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop and deliver its value at once.
+            event = next_event
+
+        self.env._active_process = None
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._target = None
+        self._ok = ok
+        self._value = value
+        if not ok and isinstance(value, BaseException):
+            # Re-raised at run() unless some waiter defuses it.
+            self.defused = False
+        self.env._schedule(self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'dead' if self.triggered else 'alive'}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf combinators."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for e in self.events:
+            if e.env is not env:
+                raise SimError("cannot mix events from different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for e in self.events:
+            if e.callbacks is None:
+                self._check(e)
+            else:
+                e.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        # Use *processed* (callbacks already run), not *triggered*: a Timeout
+        # carries its value from construction and so is "triggered" before it
+        # has actually fired.
+        return {
+            e: e._value for e in self.events
+            if e.processed and e._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of the given events fires."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all of the given events have fired."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+# ---------------------------------------------------------------------------
+# Environment
+# ---------------------------------------------------------------------------
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    priority: int
+    seq: int
+    event: Event = field(compare=False)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Example
+    -------
+    >>> env = Environment()
+    >>> log = []
+    >>> def proc(env):
+    ...     yield env.timeout(5)
+    ...     log.append(env.now)
+    >>> _ = env.process(proc(env))
+    >>> env.run()
+    >>> log
+    [5.0]
+    """
+
+    #: Priority for "urgent" events (used internally for initialisation).
+    URGENT = 0
+    NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        heapq.heappush(
+            self._queue,
+            _QueueEntry(self._now + delay, priority, next(self._seq), event),
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0].time if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimError("empty event queue")
+        entry = heapq.heappop(self._queue)
+        self._now = entry.time
+        event = entry.event
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to queue exhaustion), a time (run until
+        the clock would pass it), or an :class:`Event` (run until it fires and
+        return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            raise SimError("simulation ended before the awaited event fired")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

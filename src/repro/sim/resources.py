@@ -1,0 +1,242 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Provides counted resources (:class:`Resource`), continuous capacity pools
+(:class:`Container`) and FIFO message queues (:class:`Store`). These are the
+building blocks used by the cloud substrate — e.g. a VEEH models its CPU and
+memory as :class:`Container` pools, and the Condor scheduler's job queue is a
+:class:`Store`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .kernel import Environment, Event, SimError
+
+__all__ = ["Request", "Release", "Resource", "Container", "Store", "FilterStore"]
+
+
+class Request(Event):
+    """A pending acquisition of one resource slot.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot (or withdraw the request if still queued)."""
+        self.resource._do_release(self)
+
+
+class Release(Event):
+    """Explicit release of a previously granted :class:`Request`."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """A counted resource with ``capacity`` identical slots and a FIFO queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        return Release(self, request)
+
+    # -- internal ------------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _do_release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass  # releasing twice is a no-op
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class _ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._getters.append(self)
+        container._trigger()
+
+
+class _ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._putters.append(self)
+        container._trigger()
+
+
+class Container:
+    """A pool of continuous capacity (e.g. MB of memory, CPU shares).
+
+    ``get`` blocks until the requested amount is available; ``put`` blocks
+    until it fits under ``capacity``.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: list[_ContainerGet] = []
+        self._putters: list[_ContainerPut] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> _ContainerGet:
+        return _ContainerGet(self, amount)
+
+    def put(self, amount: float) -> _ContainerPut:
+        return _ContainerPut(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                put = self._putters[0]
+                if self._level + put.amount <= self.capacity:
+                    self._putters.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._getters:
+                get = self._getters[0]
+                if self._level >= get.amount:
+                    self._getters.pop(0)
+                    self._level -= get.amount
+                    get.succeed(get.amount)
+                    progressed = True
+
+
+class _StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._getters.append(self)
+        store._trigger()
+
+
+class _FilterStoreGet(Event):
+    def __init__(self, store: "FilterStore",
+                 predicate: Callable[[Any], bool]):
+        super().__init__(store.env)
+        self.predicate = predicate
+        store._getters.append(self)
+        store._trigger()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of Python objects."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; fires immediately unless the store is full."""
+        event = Event(self.env)
+        if len(self.items) >= self.capacity:
+            event.fail(SimError("store full"))
+            return event
+        self.items.append(item)
+        event.succeed(item)
+        self._trigger()
+        return event
+
+    def get(self) -> _StoreGet:
+        return _StoreGet(self)
+
+    def _trigger(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.pop(0)
+            getter.succeed(self.items.pop(0))
+
+
+class FilterStore(Store):
+    """A store whose getters may select items with a predicate."""
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None
+            ) -> _FilterStoreGet:
+        return _FilterStoreGet(self, predicate or (lambda item: True))
+
+    def _trigger(self) -> None:
+        # Scan getters in arrival order; each may match a different item.
+        remaining: list[Event] = []
+        for getter in self._getters:
+            matched = None
+            for item in self.items:
+                if getter.predicate(item):  # type: ignore[attr-defined]
+                    matched = item
+                    break
+            if matched is not None:
+                self.items.remove(matched)
+                getter.succeed(matched)
+            else:
+                remaining.append(getter)
+        self._getters = remaining

@@ -1,0 +1,204 @@
+"""Structured trace log for simulation runs.
+
+The RESERVOIR evaluation relies on *infrastructural logs* to validate that
+elasticity actions were invoked within their time constraints (§4.2.3: the
+generated instruments "verify ... that suitable adjustment operations were
+invoked by matching entries and time frames in infrastructural logs"). This
+module provides the log those instruments consume, plus the time-series
+recorder used to regenerate Fig. 11.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from .kernel import Environment
+
+__all__ = ["TraceRecord", "TraceLog", "TimeSeries", "SeriesRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured log entry: (time, source, event kind, details)."""
+
+    time: float
+    source: str
+    kind: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"time": self.time, "source": self.source, "kind": self.kind,
+             "details": self.details},
+            sort_keys=True,
+        )
+
+
+class TraceLog:
+    """Append-only structured log with simple query support."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.records: list[TraceRecord] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, source: str, kind: str, **details: Any) -> TraceRecord:
+        record = TraceRecord(self.env.now, source, kind, details)
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        self._listeners.append(listener)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def query(self, *, source: Optional[str] = None,
+              kind: Optional[str] = None,
+              since: float = float("-inf"),
+              until: float = float("inf")) -> list[TraceRecord]:
+        """Filter records by source, kind and time window (inclusive)."""
+        return [
+            r for r in self.records
+            if (source is None or r.source == source)
+            and (kind is None or r.kind == kind)
+            and since <= r.time <= until
+        ]
+
+    def first(self, **kwargs: Any) -> Optional[TraceRecord]:
+        matches = self.query(**kwargs)
+        return matches[0] if matches else None
+
+    def last(self, **kwargs: Any) -> Optional[TraceRecord]:
+        matches = self.query(**kwargs)
+        return matches[-1] if matches else None
+
+
+class TimeSeries:
+    """A step-function time series: value changes recorded at time points.
+
+    Used for the Fig. 11 series (queued jobs, allocated instances) and for the
+    resource-usage integrals in Table 3.
+    """
+
+    def __init__(self, name: str, initial: float = 0.0, start: float = 0.0):
+        self.name = name
+        self.times: list[float] = [start]
+        self.values: list[float] = [float(initial)]
+
+    def record(self, time: float, value: float) -> None:
+        if time < self.times[-1]:
+            raise ValueError(
+                f"non-monotonic time {time} < {self.times[-1]} in {self.name}"
+            )
+        if time == self.times[-1]:
+            self.values[-1] = float(value)
+        else:
+            self.times.append(time)
+            self.values.append(float(value))
+
+    def increment(self, time: float, delta: float = 1.0) -> None:
+        self.record(time, self.values[-1] + delta)
+
+    @property
+    def current(self) -> float:
+        return self.values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Step-function evaluation (right-continuous).
+
+        Times before the first recorded point return the initial value — a
+        series that begins mid-run (e.g. instance counts created on first
+        deployment) reads as its initial level before it started.
+        """
+        idx = bisect.bisect_right(self.times, time) - 1
+        if idx < 0:
+            return self.values[0]
+        return self.values[idx]
+
+    def integral(self, start: float, end: float) -> float:
+        """∫ value dt over [start, end] — e.g. node-seconds of allocation."""
+        if end < start:
+            raise ValueError("end < start")
+        if end == start:
+            return 0.0
+        total = 0.0
+        t = start
+        idx = bisect.bisect_right(self.times, start) - 1
+        idx = max(idx, 0)
+        while t < end:
+            next_change = (
+                self.times[idx + 1] if idx + 1 < len(self.times)
+                else float("inf")
+            )
+            seg_end = min(next_change, end)
+            total += self.values[idx] * (seg_end - t)
+            t = seg_end
+            idx += 1
+        return total
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-weighted average over [start, end]."""
+        if end <= start:
+            raise ValueError("need end > start for a mean")
+        return self.integral(start, end) / (end - start)
+
+    def maximum(self, start: float = float("-inf"),
+                end: float = float("inf")) -> float:
+        vals = [v for t, v in zip(self.times, self.values)
+                if start <= t <= end]
+        # The value entering the window also counts.
+        if self.times and self.times[0] < start:
+            vals.append(self.value_at(start))
+        if not vals:
+            raise ValueError("empty window")
+        return max(vals)
+
+    def steps(self) -> list[tuple[float, float]]:
+        """The raw (time, value) change points."""
+        return list(zip(self.times, self.values))
+
+    def sample(self, start: float, end: float, period: float
+               ) -> list[tuple[float, float]]:
+        """Regular-grid samples of the step function (for plotting/printing)."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        out = []
+        t = start
+        while t <= end:
+            out.append((t, self.value_at(t)))
+            t += period
+        return out
+
+
+class SeriesRecorder:
+    """A bag of named :class:`TimeSeries`, convenient for experiments."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.series: dict[str, TimeSeries] = {}
+
+    def get(self, name: str, initial: float = 0.0) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name, initial, start=self.env.now)
+        return self.series[name]
+
+    def record(self, name: str, value: float) -> None:
+        self.get(name).record(self.env.now, value)
+
+    def increment(self, name: str, delta: float = 1.0) -> None:
+        self.get(name).increment(self.env.now, delta)
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self.series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series

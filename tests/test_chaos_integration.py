@@ -1,0 +1,163 @@
+"""Chaos integration: the full stack under failures and churn.
+
+Exercises several §5.2 monitoring requirements and the §1 availability claim
+at once: monitoring survives VM migration ("Migration: so that any virtual
+resource which moves from one physical host to another is monitored
+correctly"), the elastic application rides through host failures, and the
+system converges back to a consistent, constraint-clean state.
+"""
+
+import pytest
+
+from repro.cloud import Host, HypervisorTimings, ImageRepository, VEEM, VMState
+from repro.core.manifest import ManifestBuilder
+from repro.core.service_manager import ServiceManager
+from repro.grid import (
+    CondorExecDriver,
+    CondorScheduler,
+    Job,
+    JobState,
+    VirtualCluster,
+)
+from repro.monitoring import MeasurementJournal, MonitoringAgent
+from repro.sim import Environment, RandomStreams
+
+TIMINGS = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2,
+                            migrate_suspend_s=2)
+
+
+def make_sm(env, n_hosts=4):
+    repo = ImageRepository(bandwidth_mb_per_s=1000)
+    veem = VEEM(env, repository=repo)
+    for i in range(n_hosts):
+        veem.add_host(Host(env, f"h{i}", cpu_cores=8, memory_mb=16384,
+                           timings=TIMINGS))
+    return ServiceManager(env, veem)
+
+
+def test_monitoring_survives_migration():
+    """A migrated VM's agent keeps publishing without interruption."""
+    env = Environment()
+    sm = make_sm(env)
+    b = ManifestBuilder("svc")
+    b.component("app", image_mb=100, cpu=1, memory_mb=1024)
+    service = sm.deploy(b.build(), service_id="svc-1")
+    env.run(until=service.deployment)
+    vm = service.lifecycle.components["app"].vms[0]
+
+    journal = MeasurementJournal()
+    journal.subscribe_to(sm.network)
+    agent = MonitoringAgent(env, service_id="svc-1", component="app",
+                            network=sm.network)
+    agent.expose("svc.app.heartbeat", lambda: 1, frequency_s=10)
+
+    env.run(until=env.now + 35)
+    before = len(journal)
+    assert before == 3
+
+    target = next(h for h in sm.veem.hosts if h is not vm.host)
+
+    def migrate(env):
+        yield sm.veem.migrate(vm, target)
+
+    env.process(migrate(env))
+    env.run(until=env.now + 65)
+    assert vm.host is target
+    assert vm.state is VMState.RUNNING
+    # No gap larger than ~2 publication periods across the migration window.
+    gaps = journal.gaps_exceeding("svc-1", "svc.app.heartbeat", max_gap_s=20)
+    assert gaps == []
+    assert len(journal) >= before + 5
+
+
+def test_elastic_grid_rides_through_host_failure():
+    """Jobs complete despite a mid-run host failure killing several exec
+    VMs; the elasticity rules rebuild the cluster and the queue drains."""
+    env = Environment()
+    sm = make_sm(env, n_hosts=4)
+    sm.veem.repository.add("exec-img", size_mb=100,
+                           href="http://sm.internal/images/exec")
+
+    b = ManifestBuilder("grid")
+    b.component("exec", image_mb=100, cpu=1, memory_mb=1024,
+                image_href="http://sm.internal/images/exec",
+                initial=0, minimum=0, maximum=12)
+    b.kpi("GM", "exec", "grid.queue.size", frequency_s=10, default=0)
+    b.kpi("Cluster", "exec", "grid.exec.instances", frequency_s=10,
+          default=0)
+    b.rule("bootstrap", "(@grid.queue.size > 0) && "
+                        "(@grid.exec.instances < 2)", "deployVM(exec)")
+    b.rule("up", "(@grid.queue.size / (@grid.exec.instances + 1) > 2) && "
+                 "(@grid.exec.instances < 12)", "deployVM(exec)")
+    manifest = b.build()
+
+    scheduler = CondorScheduler(env, match_delay_s=0.5, trace=sm.trace)
+    from repro.cloud import DeploymentDescriptor
+    cluster = VirtualCluster(
+        env, sm.veem, scheduler,
+        descriptor_template=DeploymentDescriptor(
+            name="exec", memory_mb=1024, cpu=1,
+            disk_source="http://sm.internal/images/exec",
+            service_id="grid-1", component_id="exec"),
+        registration_delay_s=5)
+    service = sm.deploy(manifest, service_id="grid-1",
+                        drivers={"exec": CondorExecDriver(cluster)})
+    env.run(until=service.deployment)
+
+    agent = MonitoringAgent(env, service_id="grid-1", component="GM",
+                            network=sm.network)
+    agent.expose("grid.queue.size", lambda: scheduler.queue_size,
+                 frequency_s=10)
+    agent.expose("grid.exec.instances", lambda: cluster.instance_count,
+                 frequency_s=10)
+
+    rng = RandomStreams(5).stream("jobs")
+    jobs = [Job(duration_s=float(rng.uniform(60, 240)),
+                input_mb=0, output_mb=0) for _ in range(60)]
+    scheduler.submit_many(jobs)
+
+    def chaos(env):
+        yield env.timeout(300)
+        # Fail the host carrying the most exec VMs, mid-run.
+        victim = max(sm.veem.hosts, key=lambda h: len(h.vms))
+        sm.veem.inject_host_failure(victim)
+        yield env.timeout(600)
+        sm.veem.recover_host(victim)
+
+    env.process(chaos(env))
+    env.run(until=env.now + 6000)
+
+    assert all(j.state is JobState.COMPLETED for j in jobs), \
+        f"{sum(j.state is not JobState.COMPLETED for j in jobs)} unfinished"
+    # Some jobs were interrupted by the failure and re-ran elsewhere.
+    assert sm.trace.query(kind="node.failed")
+    assert sm.trace.query(kind="host.failed")
+    # Constraint suite still clean at the end.
+    assert service.check_constraints().ok
+
+
+def test_two_tenants_with_failures_stay_isolated():
+    env = Environment()
+    sm = make_sm(env, n_hosts=4)
+
+    def tenant_manifest():
+        b = ManifestBuilder("web")
+        b.component("web", image_mb=100, cpu=1, memory_mb=1024,
+                    initial=2, minimum=2, maximum=4)
+        b.kpi("LB", "web", "web.load.level", default=0)
+        b.rule("up", "(@web.load.level > 100) && (1 < 0)", "deployVM(web)")
+        return b.build()
+
+    a = sm.deploy(tenant_manifest(), service_id="tenant-A")
+    b_svc = sm.deploy(tenant_manifest(), service_id="tenant-B")
+    env.run(until=env.all_of([a.deployment, b_svc.deployment]))
+
+    # Kill one VM of tenant A; only A heals, B is untouched.
+    victim = a.lifecycle.components["web"].vms[0]
+    b_vms_before = list(b_svc.lifecycle.components["web"].vms)
+    sm.veem.inject_vm_failure(victim)
+    env.run(until=env.now + 120)
+    assert a.instance_count("web") == 2
+    assert b_svc.lifecycle.components["web"].vms == b_vms_before
+    heal = sm.trace.last(kind="instance.heal")
+    assert heal.details["service"] == "tenant-A"

@@ -1,0 +1,108 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.manifest import manifest_to_text, manifest_to_xml
+from tests.test_manifest_xml import paper_manifest
+
+
+@pytest.fixture
+def xml_path(tmp_path):
+    path = tmp_path / "service.xml"
+    path.write_text(manifest_to_xml(paper_manifest()))
+    return str(path)
+
+
+@pytest.fixture
+def text_path(tmp_path):
+    path = tmp_path / "service.rsm"
+    path.write_text(manifest_to_text(paper_manifest()))
+    return str(path)
+
+
+def test_validate_xml_ok(xml_path, capsys):
+    assert main(["validate", xml_path]) == 0
+    out = capsys.readouterr().out
+    assert "OK: polymorphGridService" in out
+    assert "2 rule(s)" in out
+
+
+def test_validate_text_ok(text_path, capsys):
+    assert main(["validate", text_path]) == 0
+
+
+def test_validate_invalid_manifest(tmp_path, capsys):
+    from repro.core.manifest import ManifestBuilder
+
+    bad = ManifestBuilder("bad")
+    bad.component("a", image_mb=1, networks=["ghost"])
+    path = tmp_path / "bad.xml"
+    path.write_text(manifest_to_xml(bad.build(validate=False)))
+    assert main(["validate", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "system-netref" in captured.out
+    assert "INVALID" in captured.err
+
+
+def test_validate_unparseable_file(tmp_path, capsys):
+    path = tmp_path / "garbage.xml"
+    path.write_text("<<< not a manifest")
+    assert main(["validate", str(path)]) == 1
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_convert_round_trips(xml_path, tmp_path, capsys):
+    assert main(["convert", xml_path, "--to", "text"]) == 0
+    text = capsys.readouterr().out
+    assert text.startswith("service polymorphGridService {")
+    path = tmp_path / "converted.rsm"
+    path.write_text(text)
+    assert main(["convert", str(path), "--to", "xml"]) == 0
+    xml = capsys.readouterr().out
+    from repro.core.manifest import manifest_from_xml
+    assert manifest_from_xml(xml) == paper_manifest()
+
+
+def test_generate_agent(xml_path, capsys):
+    assert main(["generate-agent", xml_path, "GridMgmtService"]) == 0
+    source = capsys.readouterr().out
+    assert "class GridMgmtServiceAgentStub" in source
+    compile(source, "<cli>", "exec")  # must be valid Python
+
+
+def test_generate_validator(xml_path, capsys):
+    assert main(["generate-validator", xml_path, "svc-1"]) == 0
+    source = capsys.readouterr().out
+    assert "SERVICE_ID = 'svc-1'" in source
+    compile(source, "<cli>", "exec")
+
+
+def test_table3_small(capsys):
+    assert main(["table3", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "resource_usage_saving" in out
+    assert "extra_run_time" in out
+
+
+def test_fig11_small(capsys):
+    assert main(["fig11", "--small", "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "queued jobs" in out
+    assert out.count("execution instances") == 2
+
+
+def test_capacity_plan(xml_path, capsys):
+    assert main(["capacity", xml_path]) == 0
+    out = capsys.readouterr().out
+    assert "ceiling: 6 host(s)" in out
+
+
+def test_capacity_admission_ok(xml_path, capsys):
+    assert main(["capacity", xml_path, "--hosts", "6"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_capacity_admission_refused(xml_path, capsys):
+    assert main(["capacity", xml_path, xml_path, "--hosts", "6"]) == 1
+    assert "REFUSED" in capsys.readouterr().out

@@ -1,0 +1,167 @@
+"""Unit tests for the image repository and virtual networks."""
+
+import pytest
+
+from repro.cloud import (
+    DiskImage,
+    ImageError,
+    ImageRepository,
+    NetworkError,
+    NetworkFabric,
+    VirtualNetwork,
+)
+
+
+# ---------------------------------------------------------------------------
+# Images
+# ---------------------------------------------------------------------------
+
+def test_disk_image_validation():
+    with pytest.raises(ValueError):
+        DiskImage("img", "href", size_mb=0)
+    with pytest.raises(ValueError):
+        DiskImage("", "href", size_mb=10)
+
+
+def test_repository_register_and_get():
+    repo = ImageRepository()
+    img = repo.add("condor-exec", size_mb=2048)
+    assert repo.get("condor-exec") is img
+    assert "condor-exec" in repo
+    assert len(repo) == 1
+    assert img.href.endswith("/condor-exec")
+
+
+def test_repository_duplicate_rejected():
+    repo = ImageRepository()
+    repo.add("a", size_mb=10)
+    with pytest.raises(ImageError):
+        repo.add("a", size_mb=10)
+
+
+def test_repository_unknown_image():
+    repo = ImageRepository()
+    with pytest.raises(ImageError):
+        repo.get("nope")
+    with pytest.raises(ImageError):
+        repo.resolve_href("http://nowhere")
+
+
+def test_repository_resolve_href():
+    repo = ImageRepository()
+    img = repo.add("a", size_mb=10, href="http://sm/images/a.img")
+    assert repo.resolve_href("http://sm/images/a.img") is img
+
+
+def test_transfer_time_scales_with_size_and_bandwidth():
+    repo = ImageRepository(bandwidth_mb_per_s=50)
+    repo.add("big", size_mb=1000)
+    assert repo.transfer_time("big") == pytest.approx(20.0)
+
+
+def test_record_transfer_accounts_bytes():
+    repo = ImageRepository(bandwidth_mb_per_s=100)
+    repo.add("img", size_mb=500)
+    d1 = repo.record_transfer("img")
+    d2 = repo.record_transfer("img")
+    assert d1 == d2 == pytest.approx(5.0)
+    assert repo.bytes_served_mb == 1000
+
+
+def test_customisation_disks_unique_ids():
+    repo = ImageRepository()
+    d1 = repo.make_customisation_disk({"ip": "10.0.0.2"})
+    d2 = repo.make_customisation_disk({"ip": "10.0.0.3"})
+    assert d1.disk_id != d2.disk_id
+    assert d1.properties == {"ip": "10.0.0.2"}
+
+
+def test_bad_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        ImageRepository(bandwidth_mb_per_s=0)
+
+
+# ---------------------------------------------------------------------------
+# Networks
+# ---------------------------------------------------------------------------
+
+def test_network_allocates_sequential_addresses():
+    net = VirtualNetwork("internal", "192.168.1.0/29")
+    # /29 → 6 host addrs, .1 is the gateway → 5 allocatable.
+    a = net.allocate("vm1")
+    b = net.allocate("vm2")
+    assert a == "192.168.1.2"
+    assert b == "192.168.1.3"
+    assert net.gateway == "192.168.1.1"
+    assert net.allocated == 2
+
+
+def test_network_release_and_reuse_lowest_first():
+    net = VirtualNetwork("n", "10.0.0.0/28")
+    a = net.allocate("vm1")
+    b = net.allocate("vm2")
+    net.release(a)
+    c = net.allocate("vm3")
+    assert c == a  # lowest free address is recycled
+    assert net.owner_of(b) == "vm2"
+    assert net.owner_of(c) == "vm3"
+
+
+def test_network_pool_exhaustion():
+    net = VirtualNetwork("tiny", "10.0.0.0/30")  # 2 hosts, 1 after gateway
+    net.allocate("vm1")
+    with pytest.raises(NetworkError):
+        net.allocate("vm2")
+
+
+def test_network_release_unknown_raises():
+    net = VirtualNetwork("n", "10.0.0.0/29")
+    with pytest.raises(NetworkError):
+        net.release("10.0.0.2")
+
+
+def test_network_addresses_of_owner():
+    net = VirtualNetwork("n", "10.0.0.0/28")
+    a = net.allocate("vm1")
+    b = net.allocate("vm1")
+    net.allocate("vm2")
+    assert sorted(net.addresses_of("vm1")) == sorted([a, b])
+
+
+def test_network_bad_cidr():
+    with pytest.raises(NetworkError):
+        VirtualNetwork("n", "not-a-cidr")
+    with pytest.raises(NetworkError):
+        VirtualNetwork("", "10.0.0.0/24")
+
+
+def test_fabric_create_get_ensure():
+    fabric = NetworkFabric()
+    net = fabric.create("internal", "10.1.0.0/24")
+    assert fabric.get("internal") is net
+    assert fabric.ensure("internal") is net
+    assert fabric.ensure("other") is not net
+    assert "internal" in fabric
+    with pytest.raises(NetworkError):
+        fabric.create("internal")
+    with pytest.raises(NetworkError):
+        fabric.get("missing")
+
+
+def test_fabric_release_all_owner():
+    fabric = NetworkFabric()
+    n1 = fabric.create("a", "10.1.0.0/28")
+    n2 = fabric.create("b", "10.2.0.0/28")
+    n1.allocate("vm1")
+    n2.allocate("vm1")
+    n2.allocate("vm2")
+    released = fabric.release_all("vm1")
+    assert released == 2
+    assert n1.allocated == 0
+    assert n2.allocated == 1
+
+
+def test_public_flag():
+    net = VirtualNetwork("dmz", public=True)
+    assert net.public
+    assert not VirtualNetwork("internal").public

@@ -1,0 +1,168 @@
+"""Tests for the §4.2.3 code generation: generated source must run."""
+
+import pytest
+
+from repro.core.codegen import generate_agent_stub, generate_validation_script
+from repro.core.manifest import ManifestBuilder
+from repro.monitoring import MeasurementStore, MulticastChannel
+from repro.sim import Environment
+
+
+def manifest():
+    b = ManifestBuilder("gen-svc")
+    b.component("GM", image_mb=100)
+    b.component("exec", image_mb=100, initial=0, minimum=0, maximum=4)
+    b.application("gen-app")
+    b.kpi("GridMgmtService", "GM", "uk.ucl.condor.schedd.queuesize",
+          frequency_s=30, units="jobs", default=0)
+    b.kpi("GridMgmtService", "GM", "uk.ucl.condor.schedd.class-ad.count",
+          frequency_s=60, type_name="long", default=0)
+    b.kpi("Cluster", "exec", "uk.ucl.condor.exec.instances.size",
+          frequency_s=30, default=0)
+    b.rule("up", "@uk.ucl.condor.schedd.queuesize > 4", "deployVM(exec)")
+    return b.build()
+
+
+def exec_module(source):
+    namespace = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    return namespace
+
+
+# ---------------------------------------------------------------------------
+# Agent stub generation
+# ---------------------------------------------------------------------------
+
+def test_stub_source_is_valid_python():
+    source = generate_agent_stub(manifest(), "GridMgmtService")
+    module = exec_module(source)
+    assert "GridMgmtServiceAgentStub" in module
+
+
+def test_stub_mentions_every_kpi():
+    source = generate_agent_stub(manifest(), "GridMgmtService")
+    assert "uk.ucl.condor.schedd.queuesize" in source
+    assert "uk.ucl.condor.schedd.class-ad.count" in source
+    assert "collect_queuesize" in source
+    # hyphen in the last segment becomes a safe identifier
+    assert "collect_count" in source
+
+
+def test_stub_unimplemented_probe_raises():
+    source = generate_agent_stub(manifest(), "GridMgmtService")
+    module = exec_module(source)
+    env = Environment()
+    stub = module["GridMgmtServiceAgentStub"](
+        env, "svc-1", MulticastChannel(env), start=False)
+    with pytest.raises(NotImplementedError):
+        stub.collect_queuesize()
+
+
+def test_stub_publishes_after_override():
+    """The provider's only job: override collect_*; everything else works."""
+    source = generate_agent_stub(manifest(), "GridMgmtService")
+    module = exec_module(source)
+    env = Environment()
+    network = MulticastChannel(env)
+    store = MeasurementStore()
+    store.subscribe_to(network)
+
+    class Wired(module["GridMgmtServiceAgentStub"]):
+        def collect_queuesize(self):
+            return 7
+
+        def collect_count(self):
+            return 2**40
+
+    Wired(env, "svc-1", network)
+    env.run(until=61)
+    assert store.value("svc-1", "uk.ucl.condor.schedd.queuesize") == 7
+    assert store.value("svc-1",
+                       "uk.ucl.condor.schedd.class-ad.count") == 2**40
+
+
+def test_stub_respects_declared_frequencies():
+    source = generate_agent_stub(manifest(), "GridMgmtService")
+    module = exec_module(source)
+    env = Environment()
+    network = MulticastChannel(env)
+    store = MeasurementStore()
+    store.subscribe_to(network)
+
+    class Wired(module["GridMgmtServiceAgentStub"]):
+        def collect_queuesize(self):
+            return 1
+
+        def collect_count(self):
+            return 1
+
+    Wired(env, "svc-1", network)
+    env.run(until=125)
+    # queuesize every 30 s → 4 events; count every 60 s → 2 events.
+    assert store.notifications == 6
+
+
+def test_stub_stop():
+    source = generate_agent_stub(manifest(), "GridMgmtService")
+    module = exec_module(source)
+    env = Environment()
+    network = MulticastChannel(env)
+    store = MeasurementStore()
+    store.subscribe_to(network)
+
+    class Wired(module["GridMgmtServiceAgentStub"]):
+        def collect_queuesize(self):
+            return 1
+
+        def collect_count(self):
+            return 1
+
+    stub = Wired(env, "svc-1", network)
+    stub.stop()
+    env.run(until=300)
+    assert store.notifications == 0
+
+
+def test_stub_unknown_component_rejected():
+    with pytest.raises(KeyError):
+        generate_agent_stub(manifest(), "NoSuchComponent")
+    b = ManifestBuilder("bare")
+    b.component("a", image_mb=1)
+    with pytest.raises(ValueError):
+        generate_agent_stub(b.build(), "a")
+
+
+# ---------------------------------------------------------------------------
+# Validation-script generation
+# ---------------------------------------------------------------------------
+
+def test_validation_script_round_trips_manifest():
+    source = generate_validation_script(manifest(), "svc-9")
+    module = exec_module(source)
+    assert module["MANIFEST"].service_name == "gen-svc"
+    assert module["SERVICE_ID"] == "svc-9"
+
+
+def test_validation_script_attach_and_report():
+    from repro.monitoring import Measurement
+    from repro.sim import TraceLog
+    from repro.sim.tracing import TraceRecord
+
+    source = generate_validation_script(manifest(), "svc-9")
+    module = exec_module(source)
+    env = Environment()
+    network = MulticastChannel(env)
+    instruments = module["attach"](network)
+
+    # Feed one enabling event and a timely action record.
+    network.publish(Measurement("uk.ucl.condor.schedd.queuesize",
+                                "svc-9", "p", 0.0, (50,)))
+    trace = TraceLog(env)
+    trace.records.append(TraceRecord(
+        1.0, "rule-engine", "elasticity.action",
+        {"rule": "up", "service": "svc-9", "operation": "deployVM",
+         "component_ref": "exec"}))
+    text = module["report"](instruments, trace)
+    assert "uk.ucl.condor.schedd.queuesize: 1 events" in text
+    assert "violations: 0" in text
+    assert "'enforced': 1" in text

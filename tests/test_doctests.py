@@ -1,0 +1,20 @@
+"""Run the docstring examples shipped with the public API."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.manifest.builder
+import repro.sim.kernel
+
+
+@pytest.mark.parametrize("module", [
+    repro,
+    repro.core.manifest.builder,
+    repro.sim.kernel,
+])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,107 @@
+"""Tests for ClassAd-style requirement matchmaking (§6.1.1)."""
+
+import pytest
+
+from repro.grid import CondorScheduler, ExecutionNodeHandle, Job, JobState
+from repro.sim import Environment
+
+
+def add_node(sched, name, **attributes):
+    node = ExecutionNodeHandle(name, transfer_mb_per_s=1e9,
+                               attributes=attributes)
+    sched.register_node(node)
+    return node
+
+
+def test_satisfies_semantics():
+    node = ExecutionNodeHandle("n", attributes={
+        "memory_mb": 4096, "cpus": 2, "arch": "x86_64", "has_gpu": False,
+    })
+    assert node.satisfies({})
+    assert node.satisfies({"memory_mb": 2048})          # numeric ≥
+    assert node.satisfies({"memory_mb": 4096})
+    assert not node.satisfies({"memory_mb": 8192})
+    assert node.satisfies({"arch": "x86_64"})           # exact match
+    assert not node.satisfies({"arch": "aarch64"})
+    assert node.satisfies({"has_gpu": False})           # bools exact
+    assert not node.satisfies({"has_gpu": True})
+    assert not node.satisfies({"missing_attr": 1})      # absent → no match
+
+
+def test_bool_not_coerced_to_numeric():
+    """has_gpu=True must not satisfy a numeric minimum of 1 by accident,
+    nor vice versa."""
+    node = ExecutionNodeHandle("n", attributes={"has_gpu": True, "slots": 1})
+    assert not node.satisfies({"has_gpu": 1})
+    assert not node.satisfies({"slots": True})
+
+
+def test_job_matched_to_qualified_node_only():
+    env = Environment()
+    sched = CondorScheduler(env, match_delay_s=0.0)
+    small = add_node(sched, "small", memory_mb=1024)
+    big = add_node(sched, "big", memory_mb=8192)
+    job = sched.submit(Job(duration_s=10, input_mb=0, output_mb=0,
+                           requirements={"memory_mb": 4096}))
+    env.run()
+    assert job.state is JobState.COMPLETED
+    assert job.node_name == "big"
+    assert small.jobs_completed == 0
+
+
+def test_unmatchable_job_waits_without_starving_others():
+    env = Environment()
+    sched = CondorScheduler(env, match_delay_s=0.0)
+    add_node(sched, "cpu-only", memory_mb=2048)
+    gpu_job = sched.submit(Job(duration_s=10, input_mb=0, output_mb=0,
+                               requirements={"has_gpu": True},
+                               name="gpu-job"))
+    plain = sched.submit(Job(duration_s=10, input_mb=0, output_mb=0,
+                             name="plain"))
+    env.run(until=50)
+    # The plain job behind the unmatchable one still ran.
+    assert plain.state is JobState.COMPLETED
+    assert gpu_job.state is JobState.IDLE
+    assert sched.queue_size == 1
+    # A qualified node arriving later picks the waiting job up.
+    add_node(sched, "gpu-box", has_gpu=True, memory_mb=2048)
+    env.run(until=100)
+    assert gpu_job.state is JobState.COMPLETED
+    assert gpu_job.node_name == "gpu-box"
+
+
+def test_queue_order_preserved_among_matchable_jobs():
+    env = Environment()
+    sched = CondorScheduler(env, match_delay_s=0.0)
+    add_node(sched, "n0", memory_mb=2048)
+    blocked = sched.submit(Job(duration_s=5, input_mb=0, output_mb=0,
+                               requirements={"memory_mb": 9999},
+                               name="blocked"))
+    first = sched.submit(Job(duration_s=5, input_mb=0, output_mb=0,
+                             name="first"))
+    second = sched.submit(Job(duration_s=5, input_mb=0, output_mb=0,
+                              name="second"))
+    env.run(until=30)
+    assert first.completed_at < second.completed_at
+    assert blocked.state is JobState.IDLE
+
+
+def test_heterogeneous_pool_parallel_matching():
+    env = Environment()
+    sched = CondorScheduler(env, match_delay_s=0.0)
+    for i in range(2):
+        add_node(sched, f"small-{i}", memory_mb=1024)
+    for i in range(2):
+        add_node(sched, f"big-{i}", memory_mb=8192)
+    big_jobs = [sched.submit(Job(duration_s=100, input_mb=0, output_mb=0,
+                                 requirements={"memory_mb": 4096}))
+                for _ in range(4)]
+    small_jobs = [sched.submit(Job(duration_s=100, input_mb=0, output_mb=0))
+                  for _ in range(4)]
+    env.run()
+    assert all(j.node_name.startswith("big") for j in big_jobs)
+    # Small jobs may run anywhere; everything completes.
+    assert all(j.state is JobState.COMPLETED
+               for j in big_jobs + small_jobs)
+    # Big nodes served the memory-hungry jobs in two waves → makespan 200+.
+    assert max(j.completed_at for j in big_jobs) == pytest.approx(200, abs=5)

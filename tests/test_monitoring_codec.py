@@ -1,0 +1,235 @@
+"""Tests for measurements, qualified names and the XDR codec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitoring import (
+    AttributeType,
+    CodecError,
+    DataDictionary,
+    Measurement,
+    ProbeAttribute,
+    decode_measurement,
+    decode_value,
+    encode_measurement,
+    encode_value,
+    naive_json_size,
+    validate_qualified_name,
+)
+
+
+# ---------------------------------------------------------------------------
+# Qualified names
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", [
+    "uk.ucl.condor.schedd.queuesize",
+    "com.sap.webdispatcher.kpis.sessions",
+    "a.b",
+    "x-1.y_2.z3",
+])
+def test_valid_qualified_names(name):
+    assert validate_qualified_name(name) == name
+
+
+@pytest.mark.parametrize("name", [
+    "", "single", ".leading", "trailing.", "two..dots", "sp ace.x", None, 42,
+])
+def test_invalid_qualified_names(name):
+    with pytest.raises((ValueError, TypeError)):
+        validate_qualified_name(name)
+
+
+# ---------------------------------------------------------------------------
+# AttributeType
+# ---------------------------------------------------------------------------
+
+def test_type_inference():
+    assert AttributeType.for_python_value(True) is AttributeType.BOOLEAN
+    assert AttributeType.for_python_value(5) is AttributeType.INTEGER
+    assert AttributeType.for_python_value(2**40) is AttributeType.LONG
+    assert AttributeType.for_python_value(1.5) is AttributeType.DOUBLE
+    assert AttributeType.for_python_value("x") is AttributeType.STRING
+    with pytest.raises(TypeError):
+        AttributeType.for_python_value([1, 2])
+
+
+def test_type_accepts():
+    assert AttributeType.INTEGER.accepts(5)
+    assert not AttributeType.INTEGER.accepts(True)  # bool is not an int here
+    assert AttributeType.DOUBLE.accepts(5)          # ints widen to double
+    assert AttributeType.BOOLEAN.accepts(False)
+    assert not AttributeType.STRING.accepts(5)
+
+
+# ---------------------------------------------------------------------------
+# DataDictionary
+# ---------------------------------------------------------------------------
+
+def test_dictionary_rejects_duplicates():
+    attr = ProbeAttribute("q", AttributeType.INTEGER)
+    with pytest.raises(ValueError):
+        DataDictionary((attr, attr))
+
+
+def test_dictionary_validate_values():
+    d = DataDictionary((
+        ProbeAttribute("count", AttributeType.INTEGER, "jobs"),
+        ProbeAttribute("load", AttributeType.DOUBLE, "ratio"),
+    ))
+    d.validate_values((5, 0.7))
+    with pytest.raises(ValueError):
+        d.validate_values((5,))
+    with pytest.raises(TypeError):
+        d.validate_values(("five", 0.7))
+    assert d.index_of("load") == 1
+    with pytest.raises(KeyError):
+        d.index_of("missing")
+
+
+def test_probe_attribute_validation():
+    with pytest.raises(ValueError):
+        ProbeAttribute("", AttributeType.INTEGER)
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def make_measurement(**kw):
+    kw.setdefault("qualified_name", "uk.ucl.condor.schedd.queuesize")
+    kw.setdefault("service_id", "svc-1")
+    kw.setdefault("probe_id", "probe-1")
+    kw.setdefault("timestamp", 123.5)
+    kw.setdefault("values", (7,))
+    return Measurement(**kw)
+
+
+def test_measurement_validation():
+    with pytest.raises(ValueError):
+        make_measurement(qualified_name="notdotted")
+    with pytest.raises(ValueError):
+        make_measurement(service_id="")
+    with pytest.raises(ValueError):
+        make_measurement(probe_id="")
+
+
+def test_measurement_value_shorthand():
+    assert make_measurement(values=(9, 2)).value == 9
+    with pytest.raises(ValueError):
+        _ = make_measurement(values=()).value
+
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [0, 1, -1, 2**31 - 1, -(2**31), 2**62, True,
+                                   False, 0.0, -3.25, "hello", "", "ünïcødé",
+                                   "x" * 1000])
+def test_value_round_trip(value):
+    buf = encode_value(value)
+    decoded, offset = decode_value(buf)
+    assert decoded == value
+    assert type(decoded) is type(value)
+    assert offset == len(buf)
+
+
+def test_string_padding_is_4_byte_aligned():
+    for s in ("", "a", "ab", "abc", "abcd"):
+        buf = encode_value(s)
+        # tag byte + 4-byte length + padded body
+        assert (len(buf) - 1) % 4 == 0
+
+
+def test_float_single_precision_lossy_but_close():
+    buf = encode_value(1.234567, AttributeType.FLOAT)
+    decoded, _ = decode_value(buf)
+    assert decoded == pytest.approx(1.234567, rel=1e-6)
+
+
+def test_decode_errors():
+    with pytest.raises(CodecError):
+        decode_value(b"")
+    with pytest.raises(CodecError):
+        decode_value(b"\xff\x00\x00\x00\x00")  # unknown tag
+    with pytest.raises(CodecError):
+        decode_value(b"\x01\x00")  # truncated int
+    truncated_string = encode_value("hello")[:-3]
+    with pytest.raises(CodecError):
+        decode_value(truncated_string)
+
+
+def test_encode_type_mismatch():
+    with pytest.raises(CodecError):
+        encode_value("text", AttributeType.INTEGER)
+
+
+# ---------------------------------------------------------------------------
+# Measurement codec
+# ---------------------------------------------------------------------------
+
+def test_measurement_round_trip():
+    m = make_measurement(values=(7, 0.5, "busy", True), seqno=42)
+    out = decode_measurement(encode_measurement(m))
+    assert out == m
+
+
+def test_measurement_bad_magic():
+    with pytest.raises(CodecError):
+        decode_measurement(b"XXXX" + b"\x00" * 20)
+
+
+def test_measurement_bad_version():
+    buf = bytearray(encode_measurement(make_measurement()))
+    buf[7] = 99
+    with pytest.raises(CodecError):
+        decode_measurement(bytes(buf))
+
+
+def test_measurement_truncated():
+    buf = encode_measurement(make_measurement())
+    with pytest.raises(CodecError):
+        decode_measurement(buf[: len(buf) - 2])
+
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.floats(allow_nan=False, allow_infinity=True, width=64),
+            st.booleans(),
+            st.text(max_size=50),
+        ),
+        max_size=8,
+    ),
+    seqno=st.integers(min_value=0, max_value=2**31),
+    timestamp=st.floats(min_value=0, max_value=1e12),
+)
+@settings(max_examples=200)
+def test_measurement_round_trip_property(values, seqno, timestamp):
+    m = make_measurement(values=tuple(values), seqno=seqno,
+                         timestamp=timestamp)
+    out = decode_measurement(encode_measurement(m))
+    assert out.qualified_name == m.qualified_name
+    assert out.seqno == m.seqno
+    assert out.timestamp == m.timestamp
+    assert len(out.values) == len(m.values)
+    for a, b in zip(out.values, m.values):
+        if isinstance(b, float) and math.isnan(b):
+            assert math.isnan(a)
+        else:
+            assert a == b
+
+
+def test_xdr_smaller_than_naive_json():
+    """The design claim behind §5.2.6: values-only XDR beats self-describing
+    encodings because names/units live in the information model."""
+    m = make_measurement(values=(12345, 0.875))
+    xdr_size = len(encode_measurement(m))
+    json_size = naive_json_size(
+        m, ["queuesize", "utilisation"], ["jobs", "ratio"])
+    assert xdr_size < json_size

@@ -1,0 +1,418 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimError,
+    StopProcess,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    observed = []
+
+    def proc(env):
+        yield env.timeout(5)
+        observed.append(env.now)
+        yield env.timeout(2.5)
+        observed.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert observed == [5.0, 7.5]
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_delivers_value():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="payload")
+        got.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run(until=25)
+    assert env.now == 25.0
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=50)
+    with pytest.raises(ValueError):
+        env.run(until=10)
+
+
+def test_process_join_returns_value():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(3)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [(3.0, 42)]
+
+
+def test_stop_process_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise StopProcess("early")
+        yield env.timeout(100)  # pragma: no cover
+
+    proc = env.process(child(env))
+    env.run()
+    assert proc.value == "early"
+    assert env.now == 1.0
+
+
+def test_events_fire_in_time_order_with_fifo_ties():
+    env = Environment()
+    order = []
+
+    def maker(env, tag, delay):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(maker(env, "a", 5))
+    env.process(maker(env, "b", 5))
+    env.process(maker(env, "c", 1))
+    env.run()
+    assert order == ["c", "a", "b"]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    done = []
+    gate = env.event()
+
+    def waiter(env):
+        value = yield gate
+        done.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(4)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert done == [(4.0, "open")]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimError):
+        ev.succeed()
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    seen = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            seen.append(str(exc))
+
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert seen == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_to_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    seen = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            seen.append((env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(7)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert seen == [(7.0, "wake up")]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def resilient(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            trace.append(("interrupted", env.now))
+        yield env.timeout(5)
+        trace.append(("done", env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(10)
+        victim.interrupt()
+
+    victim = env.process(resilient(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert trace == [("interrupted", 10.0), ("done", 15.0)]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="fast")
+        t2 = env.timeout(10, value="slow")
+        fired = yield AnyOf(env, [t1, t2])
+        results.append((env.now, sorted(fired.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(5.0, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="a")
+        t2 = env.timeout(10, value="b")
+        fired = yield AllOf(env, [t1, t2])
+        results.append((env.now, sorted(fired.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(10.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        yield env.all_of([])
+        results.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert results == [0.0]
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+        return "answer"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "answer"
+    assert env.now == 3.0
+
+
+def test_run_until_never_fired_event_raises():
+    env = Environment()
+    orphan = env.event()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    with pytest.raises(SimError):
+        env.run(until=orphan)
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimError):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(9)
+
+    env.process(proc(env))
+    env.step()  # consume the initialization event
+    assert env.peek() == 9.0
+
+
+def test_nested_processes_chain():
+    env = Environment()
+
+    def leaf(env, n):
+        yield env.timeout(n)
+        return n * 2
+
+    def mid(env):
+        a = yield env.process(leaf(env, 2))
+        b = yield env.process(leaf(env, 3))
+        return a + b
+
+    p = env.process(mid(env))
+    assert env.run(until=p) == 10
+    assert env.now == 5.0
+
+
+def test_many_processes_deterministic():
+    """Two identical runs produce identical event orderings."""
+
+    def run_once():
+        env = Environment()
+        order = []
+
+        def worker(env, i):
+            yield env.timeout(i % 7)
+            order.append(i)
+            yield env.timeout((i * 13) % 5)
+            order.append(-i)
+
+        for i in range(50):
+            env.process(worker(env, i))
+        env.run()
+        return order
+
+    assert run_once() == run_once()
+
+
+def test_interrupt_before_first_resume_is_caught():
+    """Interrupting a just-created process must land on its first yield,
+    inside the process's try/except — not escape from an unstarted
+    generator."""
+    env = Environment()
+    seen = []
+
+    def guarded(env):
+        try:
+            while True:
+                yield env.timeout(30)
+        except Interrupt as intr:
+            seen.append(intr.cause)
+
+    proc = env.process(guarded(env))
+    proc.interrupt("early")   # before env.run(): no event has fired yet
+    env.run()
+    assert seen == ["early"]
+
+
+def test_interrupt_process_that_finishes_during_init_is_harmless():
+    """A process whose body returns immediately (guard already false) may
+    receive a same-instant interrupt; the stale interrupt must be dropped."""
+    env = Environment()
+    flag = {"active": True}
+
+    def loop(env):
+        while flag["active"]:
+            yield env.timeout(30)
+
+    proc = env.process(loop(env))
+    flag["active"] = False
+    proc.interrupt("stop")
+    env.run()   # must not raise
+    assert proc.triggered
+
+
+def test_processes_start_before_same_time_events():
+    """Init events run URGENT: a process created at time t observes state
+    changes scheduled at t only after its first yield."""
+    env = Environment()
+    order = []
+
+    def proc(env):
+        order.append("started")
+        yield env.timeout(0)
+        order.append("resumed")
+
+    env.process(proc(env))
+    gate = env.event()
+    gate.succeed()  # normal-priority event at the same instant
+    gate.callbacks.append(lambda _e: order.append("gate"))
+    env.run()
+    assert order[0] == "started"

@@ -1,0 +1,245 @@
+"""Unit tests for resources, containers and stores."""
+
+import pytest
+
+from repro.sim import Container, Environment, FilterStore, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    acquired = []
+
+    def user(env, tag):
+        with res.request() as req:
+            yield req
+            acquired.append((tag, env.now))
+            yield env.timeout(10)
+
+    for tag in "abc":
+        env.process(user(env, tag))
+    env.run()
+    # a and b acquire at t=0; c waits until one of them releases at t=10.
+    assert acquired == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+
+def test_resource_count_tracks_holders():
+    env = Environment()
+    res = Resource(env, capacity=3)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    env.process(holder(env))
+    env.process(holder(env))
+    env.run(until=1)
+    assert res.count == 2
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    for tag in range(5):
+        env.process(user(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_queued_request_can_be_withdrawn():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    got = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def impatient(env):
+        req = res.request()
+        # Give up before being granted.
+        yield env.timeout(2)
+        req.cancel()
+        got.append("gave up")
+
+    def patient(env):
+        yield env.timeout(1)
+        with res.request() as req:
+            yield req
+            got.append(("patient", env.now))
+
+    env.process(holder(env))
+    env.process(impatient(env))
+    env.process(patient(env))
+    env.run()
+    assert ("patient", 10.0) in got
+    assert "gave up" in got
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    got = []
+
+    def consumer(env):
+        yield tank.get(30)
+        got.append(env.now)
+
+    def producer(env):
+        yield env.timeout(5)
+        yield tank.put(50)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [5.0]
+    assert tank.level == 20
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    done = []
+
+    def producer(env):
+        yield tank.put(5)
+        done.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(3)
+        yield tank.get(7)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert done == [3.0]
+    assert tank.level == 8
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=9)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.get(0)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_fifo_delivery():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    def producer(env):
+        for item in ("x", "y", "z"):
+            yield env.timeout(1)
+            store.put(item)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert received == ["x", "y", "z"]
+
+
+def test_store_get_before_put_blocks():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env):
+        yield store.get()
+        times.append(env.now)
+
+    def producer(env):
+        yield env.timeout(42)
+        store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [42.0]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_filter_store_selects_matching_item():
+    env = Environment()
+    store = FilterStore(env)
+    received = []
+
+    def consumer(env):
+        item = yield store.get(lambda x: x % 2 == 0)
+        received.append(item)
+
+    env.process(consumer(env))
+    store.put(1)
+    store.put(3)
+    store.put(4)
+    env.run()
+    assert received == [4]
+    assert store.items == [1, 3]
+
+
+def test_filter_store_waits_for_match():
+    env = Environment()
+    store = FilterStore(env)
+    received = []
+
+    def consumer(env):
+        item = yield store.get(lambda x: x == "wanted")
+        received.append((env.now, item))
+
+    def producer(env):
+        store.put("other")
+        yield env.timeout(9)
+        store.put("wanted")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert received == [(9.0, "wanted")]
