@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_micro.py -q \
+        --benchmark-json=/tmp/bench.json
+    python benchmarks/check_regression.py /tmp/bench.json
+
+Exits non-zero if any headline benchmark's median regressed more than
+``THRESHOLD`` (25%) against ``BENCH_baseline.json``. Medians are compared
+rather than means because the shared CI boxes throw multi-millisecond
+scheduling outliers that swamp a mean but barely move a median.
+
+Refresh the baseline after an intentional performance change::
+
+    python benchmarks/check_regression.py /tmp/bench.json --update
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+
+#: The benches the PR acceptance criteria are stated against. Other benches
+#: are tracked informally; only these gate.
+HEADLINE = (
+    "test_expression_evaluation",
+    "test_rule_engine_evaluation_pass",
+    "test_kernel_event_throughput",
+)
+
+THRESHOLD = 0.25
+
+
+def load_medians(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    if "benchmarks" in data and isinstance(data["benchmarks"], list):
+        # raw pytest-benchmark output
+        return {b["name"]: b["stats"]["median"] for b in data["benchmarks"]}
+    # our slim committed format
+    return {name: entry["median_s"]
+            for name, entry in data["headline"].items()}
+
+
+def main(argv):
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    current = load_medians(argv[0])
+    if "--update" in argv[1:]:
+        slim = {
+            "comment": "medians in seconds; refresh via check_regression.py "
+                       "--update after intentional perf changes",
+            "headline": {name: {"median_s": current[name]}
+                         for name in HEADLINE},
+        }
+        BASELINE_PATH.write_text(json.dumps(slim, indent=2) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+    baseline = load_medians(BASELINE_PATH)
+    failed = False
+    for name in HEADLINE:
+        if name not in current:
+            print(f"MISSING  {name}: not in {argv[0]}")
+            failed = True
+            continue
+        base, now = baseline[name], current[name]
+        delta = (now - base) / base
+        status = "OK"
+        if delta > THRESHOLD:
+            status = "REGRESSED"
+            failed = True
+        print(f"{status:<10}{name}: baseline {base * 1e6:.1f}us, "
+              f"current {now * 1e6:.1f}us ({delta:+.1%})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -137,6 +137,54 @@ def test_rule_engine_evaluation_pass(benchmark):
     benchmark(interp.evaluate_rules)
 
 
+def test_rule_engine_sparse_churn(benchmark):
+    """Pass cost must track the *dirty* rule count, not the installed count.
+
+    100 installed rules, but each iteration dirties exactly one KPI: the
+    incremental engine should evaluate ~1 rule per pass.
+    """
+    from repro.core.manifest import ElasticityRule
+    from repro.core.service_manager import RuleInterpreter
+
+    env = Environment()
+    interp = RuleInterpreter(env, "svc", executor=lambda a, r: False)
+    n = 100
+    for i in range(n):
+        interp.install(ElasticityRule.from_text(
+            f"rule-{i}", f"(@kpi.stream{i} > {n}) && (@kpi.stream{i} < {2 * n})",
+            "notify()", defaults={f"kpi.stream{i}": 0}))
+    interp.evaluate_rules()  # settle: every fresh rule goes cold
+    churn = Measurement("kpi.stream42", "svc", "p", 0.0, (3,))
+
+    def one_dirty_pass():
+        interp.notify(churn)
+        interp.evaluate_rules()
+
+    benchmark(one_dirty_pass)
+    assert interp.last_pass["installed"] == n
+    assert interp.last_pass["evaluated"] == 1
+
+
+def test_rule_engine_full_pass_compiled(benchmark):
+    """The non-incremental baseline with compiled conditions: isolates the
+    expression-compilation win from the dirty-set win."""
+    from repro.core.manifest import ElasticityRule
+    from repro.core.service_manager import RuleInterpreter
+
+    env = Environment()
+    interp = RuleInterpreter(env, "svc", executor=lambda a, r: False,
+                             incremental=False)
+    for i in range(20):
+        interp.install(ElasticityRule.from_text(
+            f"rule-{i}", f"(@kpi.stream{i} > {i * 10}) && (@kpi.other < 5)",
+            "notify()", defaults={f"kpi.stream{i}": 0, "kpi.other": 0}))
+    for i in range(20):
+        interp.notify(Measurement(f"kpi.stream{i}", "svc", "p", 0.0, (i,)))
+
+    benchmark(interp.evaluate_rules)
+    assert interp.last_pass["evaluated"] == 20
+
+
 def test_manifest_xml_round_trip(benchmark):
     from repro.experiments import TestbedConfig, polymorph_manifest
     from repro.core.manifest import manifest_from_xml, manifest_to_xml

@@ -132,8 +132,19 @@ class ElasticityRule:
             return self.cooldown_s
         return self.trigger.time_constraint_s
 
-    def kpi_references(self) -> set[str]:
-        return self.trigger.expression.kpi_references()
+    def kpi_references(self) -> frozenset[str]:
+        """KPI qualified names the trigger reads.
+
+        Computed once per rule (the AST never changes after construction)
+        and shared by manifest validation, the generated instruments and
+        the rule engine's KPI→rules index.
+        """
+        try:
+            return self._kpi_refs
+        except AttributeError:
+            refs = frozenset(self.trigger.expression.kpi_references())
+            object.__setattr__(self, "_kpi_refs", refs)
+            return refs
 
     @classmethod
     def from_text(cls, name: str, expression: str, actions: str | list[str],

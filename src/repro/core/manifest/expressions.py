@@ -38,11 +38,31 @@ related to that time series (mean, minimum, maximum, etc.)"): they
 aggregate a KPI's measurements over the trailing window of the given number
 of seconds. Evaluating them requires window-capable bindings (see
 :class:`EvaluationContext`); plain latest-value bindings raise.
+
+Evaluation paths
+----------------
+
+Every node supports two semantically identical evaluation paths:
+
+* :meth:`Expression.interpret` — the reference tree-walk, one virtual
+  dispatch per node, transcribing the §4.2.2 OCL contract directly;
+* :meth:`Expression.compile` — lowers the tree *once* into a single flat
+  Python closure by emitting the condition as Python source and evaluating
+  it: constant subtrees are folded at compile time, arithmetic and
+  comparisons become native operators, and ``&&``/``||`` short-circuit when
+  the skipped operand is statically *total* (provably unable to raise), so
+  skipping it cannot hide a configuration error.
+
+:meth:`Expression.evaluate` — the public hot path — calls the cached
+compiled closure, so repeated rule evaluation pays one function call
+instead of a full tree of virtual dispatches.
 """
 
 from __future__ import annotations
 
 import abc
+import math
+import operator
 import re
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
@@ -52,6 +72,7 @@ from ...monitoring.measurements import validate_qualified_name
 __all__ = [
     "ExpressionError",
     "Expression",
+    "CompiledExpression",
     "Literal",
     "KPIRef",
     "UnaryOp",
@@ -72,6 +93,9 @@ class ExpressionError(Exception):
 #: Resolver from KPI qualified name → current value (or None if unknown).
 Bindings = Callable[[str], Optional[float]]
 
+#: A compiled condition: one flat closure from bindings → numeric result.
+CompiledExpression = Callable[[Bindings], float]
+
 
 class EvaluationContext:
     """Window-capable bindings for expressions with time-series operations.
@@ -81,6 +105,8 @@ class EvaluationContext:
     aggregate over measurements in the trailing window, or ``None`` when the
     window is empty.
     """
+
+    __slots__ = ("latest", "window")
 
     def __init__(self, latest: Bindings,
                  window: Optional[
@@ -104,12 +130,140 @@ class EvaluationContext:
 # AST
 # ---------------------------------------------------------------------------
 
+def _never(name: str) -> Optional[float]:
+    raise AssertionError("constant subtree consulted bindings")
+
+
+# -- codegen runtime helpers (bound into the compiled lambda's globals) ------
+
+def _ref_helper(bindings: Bindings, name: str) -> float:
+    try:
+        value = bindings(name)
+    except (TypeError, KeyError) as exc:
+        raise ExpressionError(
+            f"KPI lookup for {name!r} failed: {exc}"
+        ) from exc
+    if value is None:
+        raise ExpressionError(
+            f"no monitoring record for {name!r} and no default"
+        )
+    return float(value)
+
+
+def _refd_helper(bindings: Bindings, name: str, default: float) -> float:
+    try:
+        value = bindings(name)
+    except (TypeError, KeyError) as exc:
+        raise ExpressionError(
+            f"KPI lookup for {name!r} failed: {exc}"
+        ) from exc
+    if value is None:
+        return default
+    return float(value)
+
+
+def _div_helper(a: float, b: float, message: str) -> float:
+    if b == 0:
+        raise ExpressionError(message)
+    return a / b
+
+
+def _win_helper(bindings: Bindings, op: str, name: str, window_s: float,
+                default: Optional[float], text: str) -> float:
+    if isinstance(bindings, EvaluationContext):
+        value = bindings.aggregate(name, window_s, op)
+    else:
+        raise ExpressionError(
+            f"{text} requires an EvaluationContext, got plain "
+            f"latest-value bindings"
+        )
+    if value is None:
+        if op == "count":
+            return 0.0
+        if default is None:
+            raise ExpressionError(f"empty window for {text} and no default")
+        return default
+    return float(value)
+
+
+#: Globals for compiled closures. The emitted source contains only float
+#: literals, validated qualified names and these helpers — no builtins.
+_COMPILE_ENV = {
+    "__builtins__": {},
+    "_ref": _ref_helper,
+    "_refd": _refd_helper,
+    "_div": _div_helper,
+    "_win": _win_helper,
+    "float": float,
+}
+
+
+def _lit(value: float) -> str:
+    """A Python source literal reproducing ``value`` exactly."""
+    if math.isfinite(value):
+        return repr(float(value))
+    return f"float({str(float(value))!r})"
+
+
+def _fold(expr: "Expression") -> Optional[CompiledExpression]:
+    """Constant-fold a subtree that reads no KPIs.
+
+    Such a subtree evaluates to the same result on every call, so it is
+    evaluated once at compile time. A constant *error* (e.g. a literal
+    division by zero) compiles to a closure re-raising it, matching the
+    interpreted path raising on every evaluation.
+    """
+    if expr.kpi_references():
+        return None
+    try:
+        value = expr.interpret(_never)
+    except ExpressionError as exc:
+        def raise_(bindings: Bindings, _exc=exc) -> float:
+            raise _exc
+        raise_.compiled_source = f"<constant error: {exc}>"
+        return raise_
+    fn = lambda bindings, _v=value: _v  # noqa: E731
+    fn.compiled_source = f"lambda b: {_lit(value)}"
+    return fn
+
+
+def _const_value(expr: "Expression") -> Optional[float]:
+    """The subtree's compile-time constant value, or None if it reads KPIs
+    or raises (operand specialisation then falls back to emitted code)."""
+    if expr.kpi_references():
+        return None
+    try:
+        return expr.interpret(_never)
+    except ExpressionError:
+        return None
+
+
+def _emit_folded(expr: "Expression") -> str:
+    """Emit a subtree, folding it to a literal when it is an error-free
+    constant (a constant that *raises* is emitted as code so it raises
+    identically at every evaluation)."""
+    value = _const_value(expr)
+    if value is not None:
+        return _lit(value)
+    return expr._emit()
+
+
+def _emit_folded_bool(expr: "Expression") -> str:
+    """Like :func:`_emit_folded` but in boolean context (truth of the
+    subtree), sparing the 1.0/0.0 boxing between nested boolean operators."""
+    value = _const_value(expr)
+    if value is not None:
+        return "True" if value > 0 else "False"
+    return expr._emit_bool()
+
+
 class Expression(abc.ABC):
     """Base class for condition-expression AST nodes."""
 
     @abc.abstractmethod
-    def evaluate(self, bindings: Bindings) -> float:
-        """Numeric result; booleans are 1.0 / 0.0 per the OCL semantics."""
+    def interpret(self, bindings: Bindings) -> float:
+        """Reference tree-walk evaluation; booleans are 1.0 / 0.0 per the
+        OCL semantics. Semantically identical to the compiled path."""
 
     @abc.abstractmethod
     def kpi_references(self) -> set[str]:
@@ -119,9 +273,62 @@ class Expression(abc.ABC):
     def unparse(self) -> str:
         """Concrete-syntax text that re-parses to an equivalent AST."""
 
+    @abc.abstractmethod
+    def _emit(self) -> str:
+        """Python source for this node's value, as a self-contained
+        parenthesised expression over the bindings parameter ``b`` and the
+        :data:`_COMPILE_ENV` helpers. Operand evaluation order matches
+        :meth:`interpret` exactly."""
+
+    def _emit_bool(self) -> str:
+        """Python source for this node's truth value (``> 0`` per §4.2.2).
+        Boolean operators override this to chain natively instead of boxing
+        intermediate results to 1.0/0.0."""
+        return f"({self._emit()} > 0.0)"
+
+    @abc.abstractmethod
+    def _total(self) -> bool:
+        """True when evaluation can never raise under well-behaved bindings
+        (a callable that returns rather than throws): all KPI references
+        carry defaults, divisions have non-zero constant divisors, and no
+        window operations are involved. Only total operands may be skipped
+        by short-circuit without hiding a configuration error."""
+
+    def compile(self) -> CompiledExpression:
+        """Lower the tree to a single flat closure; cached per node.
+
+        The closure is built by emitting the condition as one Python
+        expression (KPI lookups through tiny helpers, everything else as
+        native operators) and evaluating it in a helpers-only namespace, so
+        a call executes zero virtual dispatches.
+        """
+        try:
+            return self._compiled
+        except AttributeError:
+            pass
+        fn = _fold(self)
+        if fn is None:
+            source = "lambda b: " + self._emit()
+            fn = eval(source, _COMPILE_ENV)  # noqa: S307 - see _COMPILE_ENV
+            fn.compiled_source = source
+        object.__setattr__(self, "_compiled", fn)
+        return fn
+
+    def evaluate(self, bindings: Bindings) -> float:
+        """Numeric result via the cached compiled closure (the hot path)."""
+        try:
+            fn = self._compiled
+        except AttributeError:
+            fn = self.compile()
+        return fn(bindings)
+
     def holds(self, bindings: Bindings) -> bool:
         """Rule-firing predicate: ``evaluate(...) > 0`` (§4.2.2)."""
         return self.evaluate(bindings) > 0
+
+    def walk(self) -> Iterator["Expression"]:
+        """Pre-order traversal of the subtree (self included)."""
+        yield self
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.unparse()!r}>"
@@ -131,11 +338,17 @@ class Expression(abc.ABC):
 class Literal(Expression):
     value: float
 
-    def evaluate(self, bindings: Bindings) -> float:
+    def interpret(self, bindings: Bindings) -> float:
         return float(self.value)
 
     def kpi_references(self) -> set[str]:
         return set()
+
+    def _emit(self) -> str:
+        return _lit(float(self.value))
+
+    def _total(self) -> bool:
+        return True
 
     def unparse(self) -> str:
         if float(self.value).is_integer():
@@ -151,6 +364,10 @@ class KPIRef(Expression):
     it via the KPI declaration. Evaluating an unbound reference without a
     default is an error — silently assuming 0 could fire a scale-down rule
     before the first measurement ever arrives.
+
+    A bindings callable that itself throws ``TypeError``/``KeyError`` (an
+    engine wiring bug, not a rule bug) surfaces as an :class:`ExpressionError`
+    naming the qualified KPI, never as a bare builtin exception.
     """
 
     name: str
@@ -159,8 +376,13 @@ class KPIRef(Expression):
     def __post_init__(self) -> None:
         validate_qualified_name(self.name)
 
-    def evaluate(self, bindings: Bindings) -> float:
-        value = bindings(self.name)
+    def interpret(self, bindings: Bindings) -> float:
+        try:
+            value = bindings(self.name)
+        except (TypeError, KeyError) as exc:
+            raise ExpressionError(
+                f"KPI lookup for {self.name!r} failed: {exc}"
+            ) from exc
         if value is None:
             if self.default is None:
                 raise ExpressionError(
@@ -172,10 +394,16 @@ class KPIRef(Expression):
     def kpi_references(self) -> set[str]:
         return {self.name}
 
+    def _emit(self) -> str:
+        if self.default is None:
+            return f"_ref(b, {self.name!r})"
+        return f"_refd(b, {self.name!r}, {_lit(float(self.default))})"
+
+    def _total(self) -> bool:
+        return self.default is not None
+
     def unparse(self) -> str:
         return f"@{self.name}"
-
-
 
 
 _WINDOW_OPS = ("mean", "min", "max", "count")
@@ -202,7 +430,7 @@ class WindowOp(Expression):
         if self.window_s <= 0:
             raise ExpressionError("window must be positive")
 
-    def evaluate(self, bindings: Bindings) -> float:
+    def interpret(self, bindings: Bindings) -> float:
         if isinstance(bindings, EvaluationContext):
             value = bindings.aggregate(self.name, self.window_s, self.op)
         else:
@@ -223,6 +451,16 @@ class WindowOp(Expression):
     def kpi_references(self) -> set[str]:
         return {self.name}
 
+    def _emit(self) -> str:
+        default = ("None" if self.default is None
+                   else _lit(float(self.default)))
+        return (f"_win(b, {self.op!r}, {self.name!r}, "
+                f"{_lit(float(self.window_s))}, {default}, "
+                f"{self.unparse()!r})")
+
+    def _total(self) -> bool:
+        return False
+
     def unparse(self) -> str:
         if float(self.window_s).is_integer():
             w = str(int(self.window_s))
@@ -240,8 +478,8 @@ class UnaryOp(Expression):
         if self.op not in ("-", "!"):
             raise ExpressionError(f"unknown unary operator {self.op!r}")
 
-    def evaluate(self, bindings: Bindings) -> float:
-        value = self.operand.evaluate(bindings)
+    def interpret(self, bindings: Bindings) -> float:
+        value = self.operand.interpret(bindings)
         if self.op == "-":
             return -value
         return 0.0 if value > 0 else 1.0
@@ -249,14 +487,31 @@ class UnaryOp(Expression):
     def kpi_references(self) -> set[str]:
         return self.operand.kpi_references()
 
+    def _emit(self) -> str:
+        if self.op == "-":
+            return f"(-{_emit_folded(self.operand)})"
+        return f"(1.0 if {self._emit_bool()} else 0.0)"
+
+    def _emit_bool(self) -> str:
+        if self.op == "-":
+            return f"({self._emit()} > 0.0)"
+        return f"(not {_emit_folded_bool(self.operand)})"
+
+    def _total(self) -> bool:
+        return self.operand._total()
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.operand.walk()
+
     def unparse(self) -> str:
         return f"{self.op}({self.operand.unparse()})"
 
 
 _ARITH = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
 }
 
 
@@ -270,9 +525,9 @@ class BinaryOp(Expression):
         if self.op not in ("+", "-", "*", "/"):
             raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
 
-    def evaluate(self, bindings: Bindings) -> float:
-        a = self.left.evaluate(bindings)
-        b = self.right.evaluate(bindings)
+    def interpret(self, bindings: Bindings) -> float:
+        a = self.left.interpret(bindings)
+        b = self.right.interpret(bindings)
         if self.op == "/":
             if b == 0:
                 raise ExpressionError(
@@ -284,17 +539,40 @@ class BinaryOp(Expression):
     def kpi_references(self) -> set[str]:
         return self.left.kpi_references() | self.right.kpi_references()
 
+    def _emit(self) -> str:
+        left = _emit_folded(self.left)
+        if self.op == "/":
+            rv = _const_value(self.right)
+            if rv is not None and rv != 0:
+                return f"({left} / {_lit(rv)})"
+            message = f"division by zero in {self.unparse()!r}"
+            return f"_div({left}, {_emit_folded(self.right)}, {message!r})"
+        return f"({left} {self.op} {_emit_folded(self.right)})"
+
+    def _total(self) -> bool:
+        if not (self.left._total() and self.right._total()):
+            return False
+        if self.op != "/":
+            return True
+        rv = _const_value(self.right)
+        return rv is not None and rv != 0
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
     def unparse(self) -> str:
         return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
 
 
 _COMPARE = {
-    ">": lambda a, b: a > b,
-    "<": lambda a, b: a < b,
-    ">=": lambda a, b: a >= b,
-    "<=": lambda a, b: a <= b,
-    "==": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
+    ">": operator.gt,
+    "<": operator.lt,
+    ">=": operator.ge,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
 }
 
 
@@ -308,13 +586,29 @@ class Comparison(Expression):
         if self.op not in _COMPARE:
             raise ExpressionError(f"unknown comparison operator {self.op!r}")
 
-    def evaluate(self, bindings: Bindings) -> float:
-        a = self.left.evaluate(bindings)
-        b = self.right.evaluate(bindings)
+    def interpret(self, bindings: Bindings) -> float:
+        a = self.left.interpret(bindings)
+        b = self.right.interpret(bindings)
         return 1.0 if _COMPARE[self.op](a, b) else 0.0
 
     def kpi_references(self) -> set[str]:
         return self.left.kpi_references() | self.right.kpi_references()
+
+    def _emit(self) -> str:
+        return f"(1.0 if {self._emit_bool()} else 0.0)"
+
+    def _emit_bool(self) -> str:
+        left = _emit_folded(self.left)
+        right = _emit_folded(self.right)
+        return f"({left} {self.op} {right})"
+
+    def _total(self) -> bool:
+        return self.left._total() and self.right._total()
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
 
     def unparse(self) -> str:
         return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
@@ -330,17 +624,41 @@ class BooleanOp(Expression):
         if self.op not in ("&&", "||"):
             raise ExpressionError(f"unknown boolean operator {self.op!r}")
 
-    def evaluate(self, bindings: Bindings) -> float:
-        a = self.left.evaluate(bindings) > 0
-        # No short-circuit: both sides' KPI lookups must be resolvable, which
-        # surfaces missing-default configuration errors deterministically
-        # rather than only when the left side happens to be false.
-        b = self.right.evaluate(bindings) > 0
+    def interpret(self, bindings: Bindings) -> float:
+        a = self.left.interpret(bindings) > 0
+        # No short-circuit here: both sides' KPI lookups must be resolvable,
+        # which surfaces missing-default configuration errors
+        # deterministically rather than only when the left side happens to
+        # be false.
+        b = self.right.interpret(bindings) > 0
         result = (a and b) if self.op == "&&" else (a or b)
         return 1.0 if result else 0.0
 
     def kpi_references(self) -> set[str]:
         return self.left.kpi_references() | self.right.kpi_references()
+
+    def _emit(self) -> str:
+        return f"(1.0 if {self._emit_bool()} else 0.0)"
+
+    def _emit_bool(self) -> str:
+        left = _emit_folded_bool(self.left)
+        right = _emit_folded_bool(self.right)
+        # Short-circuit (`and`/`or`) only when the skipped operand is total:
+        # skipping it then cannot suppress a missing-default or division
+        # error, so the compiled path stays observationally identical to
+        # interpret(). Otherwise the non-short-circuiting boolean `&`/`|`
+        # forces both operands, exactly like the tree-walk.
+        word = ("and" if self.op == "&&" else "or") if self.right._total() \
+            else ("&" if self.op == "&&" else "|")
+        return f"({left} {word} {right})"
+
+    def _total(self) -> bool:
+        return self.left._total() and self.right._total()
+
+    def walk(self) -> Iterator[Expression]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
 
     def unparse(self) -> str:
         return f"({self.left.unparse()} {self.op} {self.right.unparse()})"

@@ -18,11 +18,35 @@ loop whose period defaults to half the tightest rule time-constraint, so
 every enabling event is acted on inside its window. A per-rule cooldown
 (defaulting to the time constraint) prevents duplicate responses to one
 sustained condition spike.
+
+Incremental evaluation
+----------------------
+
+A pass no longer re-evaluates every installed rule. At install time each
+rule's KPI reference list is resolved once into a KPI→rules inverted index;
+``notify()`` marks the measurement's qualified name *dirty*. A pass then
+considers only:
+
+* rules referencing a KPI dirtied since the last pass,
+* *hot* rules — those whose last evaluation held (fired, was refused by the
+  executor, or errored): a sustained condition must re-fire once its
+  cooldown lapses even with no new measurements, and an error must keep
+  surfacing in the trace, exactly as a full pass would;
+* *periodic* rules — those with window operations, ``system.time.*``
+  references, or no KPI references at all: their conditions can change with
+  the clock alone, so they are checked on every pass.
+
+A rule whose last evaluation was false and whose KPIs are untouched is
+provably still false (conditions are pure functions of the latest-value
+store for non-periodic rules), so skipping it cannot change the firing
+journal. ``RuleInterpreter(..., incremental=False, compiled=False)``
+restores the evaluate-everything tree-walking engine for differential
+validation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ...monitoring.consumers import MeasurementJournal, MeasurementStore
@@ -30,7 +54,7 @@ from ...monitoring.distribution import DistributionFramework
 from ...monitoring.measurements import Measurement
 from ...sim import Environment, Interrupt, TraceLog
 from ..manifest.elasticity import ElasticityAction, ElasticityRule
-from ..manifest.expressions import EvaluationContext
+from ..manifest.expressions import Bindings, EvaluationContext, WindowOp
 
 __all__ = ["RuleFiring", "RuleInterpreter"]
 
@@ -51,6 +75,17 @@ class RuleFiring:
 @dataclass
 class _InstalledRule:
     rule: ElasticityRule
+    #: install sequence — candidate sets are re-sorted by this so the
+    #: incremental engine fires rules in exactly full-pass order
+    seq: int
+    #: the rule's KPI reference list, resolved once at install time
+    refs: frozenset[str]
+    #: compiled condition closure (or the interpreted fallback)
+    cond: Callable[[Bindings], float]
+    #: re-evaluated every pass: window ops / time KPIs / no refs at all
+    periodic: bool
+    #: last evaluation held or errored — must be re-checked next pass
+    hot: bool = False
     last_fired: Optional[float] = None
     firings: int = 0
     suppressed_evaluations: int = 0
@@ -63,7 +98,9 @@ class RuleInterpreter:
                  executor: ActionExecutor,
                  trace: Optional[TraceLog] = None,
                  eval_period_s: Optional[float] = None,
-                 kpi_defaults: Optional[dict[str, float]] = None):
+                 kpi_defaults: Optional[dict[str, float]] = None,
+                 incremental: bool = True,
+                 compiled: bool = True):
         self.env = env
         self.service_id = service_id
         self.executor = executor
@@ -73,9 +110,26 @@ class RuleInterpreter:
         self._rules: dict[str, _InstalledRule] = {}
         self._defaults = dict(kpi_defaults or {})
         self._explicit_period = eval_period_s
+        self._incremental = incremental
+        self._compiled = compiled
         self._loop = None
+        self._seq = 0
+        #: KPI qualified name → installed rules referencing it
+        self._kpi_index: dict[str, list[_InstalledRule]] = {}
+        #: KPIs with a new measurement since the last evaluation pass
+        self._dirty: set[str] = set()
+        self._periodic: list[_InstalledRule] = []
+        self._hot: dict[str, _InstalledRule] = {}
+        self._context = EvaluationContext(latest=self._bindings,
+                                          window=self._window)
         self.firings: list[RuleFiring] = []
         self.evaluations = 0
+        #: cumulative number of per-rule condition evaluations
+        self.rules_evaluated = 0
+        #: cumulative number of rules skipped by the incremental pass
+        self.rules_skipped = 0
+        #: breakdown of the most recent pass, for validation and benches
+        self.last_pass: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Installation (§5.1.1 step 3)
@@ -83,7 +137,24 @@ class RuleInterpreter:
     def install(self, rule: ElasticityRule) -> None:
         if rule.name in self._rules:
             raise ValueError(f"rule {rule.name!r} already installed")
-        self._rules[rule.name] = _InstalledRule(rule)
+        refs = rule.kpi_references()
+        expression = rule.trigger.expression
+        cond = expression.compile() if self._compiled else expression.interpret
+        periodic = (
+            not refs
+            or not refs.isdisjoint((self.TIME_NOW, self.TIME_OF_DAY))
+            or any(isinstance(node, WindowOp) for node in expression.walk())
+        )
+        installed = _InstalledRule(rule=rule, seq=self._seq, refs=refs,
+                                   cond=cond, periodic=periodic)
+        self._seq += 1
+        self._rules[rule.name] = installed
+        if periodic:
+            self._periodic.append(installed)
+        for name in refs:
+            self._kpi_index.setdefault(name, []).append(installed)
+        # A fresh rule has never been evaluated: check it on the next pass.
+        self._set_hot(installed, True)
         self._restart_loop()
 
     def install_all(self, rules) -> None:
@@ -93,7 +164,16 @@ class RuleInterpreter:
     def uninstall(self, name: str) -> None:
         if name not in self._rules:
             raise ValueError(f"no rule {name!r} installed")
-        del self._rules[name]
+        installed = self._rules.pop(name)
+        for qname in installed.refs:
+            bucket = self._kpi_index.get(qname)
+            if bucket is not None:
+                bucket.remove(installed)
+                if not bucket:
+                    del self._kpi_index[qname]
+        if installed.periodic:
+            self._periodic.remove(installed)
+        self._hot.pop(name, None)
         self._restart_loop()
 
     @property
@@ -117,6 +197,8 @@ class RuleInterpreter:
             return  # multiple service instances operate independently
         self.store.notify(measurement)
         self.journal.notify(measurement)
+        if measurement.qualified_name in self._kpi_index:
+            self._dirty.add(measurement.qualified_name)
 
     def subscribe_to(self, network: DistributionFramework) -> None:
         network.subscribe(self.notify, service_id=self.service_id)
@@ -163,28 +245,74 @@ class RuleInterpreter:
 
     def evaluation_context(self) -> EvaluationContext:
         """Window-capable bindings over the live store and journal."""
-        return EvaluationContext(latest=self._bindings, window=self._window)
+        return self._context
+
+    def _set_hot(self, installed: _InstalledRule, flag: bool) -> None:
+        if flag:
+            if not installed.hot:
+                installed.hot = True
+                self._hot[installed.rule.name] = installed
+        elif installed.hot:
+            installed.hot = False
+            del self._hot[installed.rule.name]
+
+    def _candidates(self) -> list[_InstalledRule]:
+        """The rules this pass must evaluate, in install order.
+
+        Cost scales with the number of dirty KPIs plus hot/periodic rules,
+        not with the number of installed rules.
+        """
+        dirty = self._dirty
+        selected: dict[int, _InstalledRule] = {}
+        for name in dirty:
+            for installed in self._kpi_index.get(name, ()):
+                selected[installed.seq] = installed
+        for installed in self._periodic:
+            selected[installed.seq] = installed
+        for installed in self._hot.values():
+            selected[installed.seq] = installed
+        return [selected[seq] for seq in sorted(selected)]
 
     def evaluate_rules(self) -> list[RuleFiring]:
-        """One evaluation pass over every installed rule."""
+        """One evaluation pass; incremental unless configured otherwise."""
         self.evaluations += 1
+        now = self.env.now
+        context = self._context
+        if self._incremental:
+            work = self._candidates()
+        else:
+            work = list(self._rules.values())
+        dirty_kpis = len(self._dirty)
+        self._dirty.clear()
         fired: list[RuleFiring] = []
-        for installed in list(self._rules.values()):
+        evaluated = 0
+        cooldown_skipped = 0
+        for installed in work:
             rule = installed.rule
             if (installed.last_fired is not None
-                    and self.env.now < installed.last_fired
+                    and now < installed.last_fired
                     + rule.effective_cooldown_s):
+                # Within cooldown: the full engine skips without evaluating,
+                # so hot/cold state is untouched here too.
+                cooldown_skipped += 1
                 continue
+            evaluated += 1
             try:
-                holds = rule.trigger.expression.holds(
-                    self.evaluation_context())
+                holds = installed.cond(context) > 0.0
             except Exception as exc:
                 self.trace.emit("rule-engine", "rule.error",
                                 rule=rule.name, service=self.service_id,
                                 error=str(exc))
+                # The full engine re-raises (and re-traces) the error every
+                # pass; keep the rule hot so the incremental one does too.
+                self._set_hot(installed, True)
                 continue
             if not holds:
+                self._set_hot(installed, False)
                 continue
+            # Held: a sustained condition re-fires after its cooldown even
+            # with no new measurements, so it must stay on the check list.
+            self._set_hot(installed, True)
             actions_run = 0
             for action in rule.actions:
                 if self.executor(action, rule):
@@ -196,13 +324,23 @@ class RuleInterpreter:
                         component_ref=action.component_ref,
                     )
             if actions_run:
-                installed.last_fired = self.env.now
+                installed.last_fired = now
                 installed.firings += 1
-                firing = RuleFiring(self.env.now, rule.name, actions_run)
+                firing = RuleFiring(now, rule.name, actions_run)
                 self.firings.append(firing)
                 fired.append(firing)
             else:
                 installed.suppressed_evaluations += 1
+        self.rules_evaluated += evaluated
+        self.rules_skipped += len(self._rules) - len(work)
+        self.last_pass = {
+            "installed": len(self._rules),
+            "candidates": len(work),
+            "evaluated": evaluated,
+            "cooldown_skipped": cooldown_skipped,
+            "skipped": len(self._rules) - len(work),
+            "dirty_kpis": dirty_kpis,
+        }
         return fired
 
     # ------------------------------------------------------------------
@@ -242,6 +380,8 @@ class RuleInterpreter:
                 "firings": ir.firings,
                 "suppressed": ir.suppressed_evaluations,
                 "last_fired": ir.last_fired,
+                "periodic": ir.periodic,
+                "hot": ir.hot,
             }
             for name, ir in self._rules.items()
         }

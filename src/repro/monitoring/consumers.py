@@ -28,6 +28,8 @@ class MeasurementStore:
     value for the qualified name, or the supplied default.
     """
 
+    __slots__ = ("_latest", "notifications", "_listeners")
+
     def __init__(self) -> None:
         self._latest: dict[tuple[str, str], Measurement] = {}
         self.notifications = 0
@@ -80,6 +82,8 @@ class MeasurementJournal:
     infrastructural logs" (§4.2.3).
     """
 
+    __slots__ = ("_events", "_by_stream")
+
     def __init__(self) -> None:
         self._events: list[Measurement] = []
         self._by_stream: dict[tuple[str, str], list[Measurement]] = defaultdict(list)
@@ -107,8 +111,12 @@ class MeasurementJournal:
 
     def window(self, service_id: str, qualified_name: str,
                since: float, until: float) -> list[Measurement]:
-        return [m for m in self.stream(service_id, qualified_name)
-                if since <= m.timestamp <= until]
+        # Iterate the internal stream list directly — stream() copies, and
+        # window queries run on every periodic rule-engine pass.
+        events = self._by_stream.get((service_id, qualified_name))
+        if not events:
+            return []
+        return [m for m in events if since <= m.timestamp <= until]
 
     # -- window statistics (§4.2.1 time-series operations) --------------------
     def _window_values(self, service_id: str, qualified_name: str,

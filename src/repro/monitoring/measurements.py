@@ -139,7 +139,7 @@ class DataDictionary:
                 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Measurement:
     """One monitoring event: identification + timestamp + positional values.
 

@@ -19,9 +19,8 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -76,7 +75,14 @@ class Event:
     (scheduled to fire and carrying a value), and *processed* (callbacks run).
     Events may succeed (:meth:`succeed`) or fail (:meth:`fail`); waiting on a
     failed event re-raises its exception inside the waiting process.
+
+    ``__slots__`` on the kernel's event classes keeps per-event memory flat
+    and attribute access cheap — simulations allocate millions of these.
+    Subclasses outside the kernel (e.g. :mod:`repro.sim.resources`) declare
+    no slots and so keep an instance ``__dict__`` for their extra fields.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -149,6 +155,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -171,6 +179,8 @@ class Process(Event):
     The generator's ``return`` value (or :class:`StopProcess` value) becomes
     the event value, so ``yield some_process`` implements *join*.
     """
+
+    __slots__ = ("_generator", "name", "_target", "_init_event")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None):
@@ -285,6 +295,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AnyOf / AllOf combinators."""
 
+    __slots__ = ("events", "_remaining")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events = list(events)
@@ -317,6 +329,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires when the first of the given events fires."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -329,6 +343,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Fires when all of the given events have fired."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -346,12 +362,10 @@ class AllOf(_Condition):
 # Environment
 # ---------------------------------------------------------------------------
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    priority: int
-    seq: int
-    event: Event = field(compare=False)
+#: Heap entries are plain ``(time, priority, seq, event)`` tuples — tuple
+#: comparison is implemented in C and ``seq`` is unique, so ordering never
+#: reaches the (incomparable) event and heap ops stay cheap.
+_QueueEntry = tuple[float, int, int, Event]
 
 
 class Environment:
@@ -374,10 +388,12 @@ class Environment:
     URGENT = 0
     NORMAL = 1
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[_QueueEntry] = []
-        self._seq = itertools.count()
+        self._seq = itertools.count().__next__
         self._active_process: Optional[Process] = None
 
     @property
@@ -409,22 +425,18 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = NORMAL) -> None:
-        heapq.heappush(
-            self._queue,
-            _QueueEntry(self._now + delay, priority, next(self._seq), event),
-        )
+        heappush(self._queue,
+                 (self._now + delay, priority, self._seq(), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0].time if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the single next event."""
         if not self._queue:
             raise SimError("empty event queue")
-        entry = heapq.heappop(self._queue)
-        self._now = entry.time
-        event = entry.event
+        self._now, _, _, event = heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -449,15 +461,23 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._queue:
+        # The drain loop is the single hottest path in the harness; it is
+        # step() inlined, with the queue bound locally.
+        queue = self._queue
+        while queue:
             if stop_event is not None and stop_event.processed:
                 if not stop_event._ok:
                     raise stop_event._value
                 return stop_event._value
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            self._now, _, _, event = heappop(queue)
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
 
         if stop_event is not None:
             if stop_event.processed:
