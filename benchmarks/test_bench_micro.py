@@ -11,10 +11,17 @@ import pytest
 
 from repro.core.manifest import parse_expression
 from repro.monitoring import (
+    AttributeType,
     DHTRing,
+    DataSource,
     Measurement,
+    PacketEncoder,
+    Probe,
+    ProbeAttribute,
+    PubSubBroker,
     decode_measurement,
     encode_measurement,
+    peek_header,
 )
 from repro.sim import Environment
 
@@ -67,6 +74,96 @@ def test_codec_encode(benchmark):
 
 def test_codec_decode(benchmark):
     assert benchmark(decode_measurement, _PACKET) == _MEASUREMENT
+
+
+def test_codec_header_peek(benchmark):
+    """The routing-only decode the fabric performs per packet."""
+    header = benchmark(peek_header, _PACKET)
+    assert header.qualified_name == _MEASUREMENT.qualified_name
+    assert header.service_id == _MEASUREMENT.service_id
+
+
+def test_codec_encode_cached_prefix(benchmark):
+    """Steady-state probe encode: cached header prefix + per-packet fields."""
+    encoder = PacketEncoder(_MEASUREMENT.qualified_name,
+                            _MEASUREMENT.service_id, _MEASUREMENT.probe_id)
+    assert benchmark(encoder.encode, _MEASUREMENT) == _PACKET
+
+
+# ---------------------------------------------------------------------------
+# Distribution fabric: broker fan-out at 1k subscriptions, probe emission
+# ---------------------------------------------------------------------------
+
+def _fanout_broker(reference):
+    """A broker with 1 000 exact subscriptions (50 services × 20 streams)
+    plus a sprinkle of glob subscribers, and 100 steady-state packets —
+    pre-encoded by the producers' cached-prefix PacketEncoder, each
+    matching exactly one exact subscription and one glob."""
+    env = Environment()
+    net = PubSubBroker(env, reference=reference)
+
+    def sink(m):
+        pass
+
+    for i in range(1000):
+        net.subscribe(sink, service_id=f"svc-{i % 50}",
+                      qualified_name=f"uk.ucl.kpi.stream{i}")
+    for i in range(10):
+        net.subscribe(sink, service_id=f"svc-{i}",
+                      qualified_name="uk.ucl.kpi.*")
+    traffic = []
+    for i in range(100):
+        stream = (i * 7) % 1000
+        m = Measurement(f"uk.ucl.kpi.stream{stream}", f"svc-{stream % 50}",
+                        "probe-1", 0.0, (i,), seqno=i)
+        encoder = PacketEncoder(m.qualified_name, m.service_id, m.probe_id)
+        traffic.append((m, encoder.encode(m)))
+    return net, traffic
+
+
+def _publish_all(net, traffic):
+    publish = net.publish
+    for m, packet in traffic:
+        publish(m, packet=packet)
+
+
+def test_broker_fanout_indexed_1k(benchmark):
+    """Routed delivery of 100 packets through 1k+ subscriptions, indexed
+    routing (exact-topic dict + compiled globs + route cache)."""
+    net, traffic = _fanout_broker(reference=False)
+    benchmark(_publish_all, net, traffic)
+    assert net.bytes_delivered > 0
+
+
+def test_broker_fanout_reference_1k(benchmark):
+    """Same traffic through the seed's linear-scan reference mode — the
+    baseline the ≥5× indexed speedup is measured against."""
+    net, traffic = _fanout_broker(reference=True)
+    benchmark(_publish_all, net, traffic)
+    assert net.bytes_delivered > 0
+
+
+def test_probe_emission_throughput(benchmark):
+    """End-to-end producer hot path: collect → cached-prefix encode →
+    publish → indexed route → lazy decode → consumer callback, ×100."""
+    env = Environment()
+    net = PubSubBroker(env)
+    net.subscribe(lambda m: None, service_id="svc-1",
+                  qualified_name="uk.ucl.emit.kpi")
+    ds = DataSource(env, "ds", "svc-1", net)
+    ds.add_probe(Probe(
+        name="emitter", qualified_name="uk.ucl.emit.kpi",
+        attributes=[ProbeAttribute("value", AttributeType.INTEGER, "jobs")],
+        collector=lambda: (7,), data_rate_s=30.0,
+    ), start=False)
+    emit = ds.emit_now
+
+    def run():
+        for _ in range(100):
+            emit("emitter")
+
+    benchmark(run)
+    assert net.packets_published >= 100
 
 
 def test_dht_put_get(benchmark):

@@ -64,9 +64,17 @@ class KPIReporter:
         self.manifest = manifest
         self.service_id = service_id
         self.journal = MeasurementJournal()
-        for kpi in manifest.application.all_kpis():
+        self._subscriptions = [
             network.subscribe(self.journal.notify, service_id=service_id,
                               qualified_name=kpi.qualified_name)
+            for kpi in manifest.application.all_kpis()
+        ]
+
+    def detach(self) -> None:
+        """Cancel this instrument's network subscriptions."""
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
 
     def report(self) -> list[KPIReport]:
         reports = []

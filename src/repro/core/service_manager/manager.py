@@ -109,6 +109,7 @@ class ServiceManager:
     def undeploy(self, service: ManagedService):
         """Terminate a service; returns the termination process."""
         service.interpreter.stop()
+        service.interpreter.detach()
         return self.env.process(
             service.lifecycle.terminate_service(),
             name=f"terminate:{service.service_id}",

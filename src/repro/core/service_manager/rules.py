@@ -122,6 +122,8 @@ class RuleInterpreter:
         self._hot: dict[str, _InstalledRule] = {}
         self._context = EvaluationContext(latest=self._bindings,
                                           window=self._window)
+        #: live network subscriptions, cancelled by detach() on undeploy
+        self._subscriptions: list = []
         self.firings: list[RuleFiring] = []
         self.evaluations = 0
         #: cumulative number of per-rule condition evaluations
@@ -200,8 +202,21 @@ class RuleInterpreter:
         if measurement.qualified_name in self._kpi_index:
             self._dirty.add(measurement.qualified_name)
 
-    def subscribe_to(self, network: DistributionFramework) -> None:
-        network.subscribe(self.notify, service_id=self.service_id)
+    def subscribe_to(self, network: DistributionFramework):
+        subscription = network.subscribe(self.notify,
+                                         service_id=self.service_id)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def detach(self) -> None:
+        """Cancel the interpreter's network subscriptions.
+
+        Called on service undeploy so a torn-down service stops occupying
+        the fabric's routing structures (and its route caches are
+        invalidated)."""
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
 
     # ------------------------------------------------------------------
     # Evaluation (OCL: RuleInterpreter::evaluateRules / evaluate)

@@ -74,13 +74,23 @@ class SLAMonitor:
         self._defaults = dict(kpi_defaults or {})
         self._states = {slo.name: _ObjectiveState(slo) for slo in sla}
         self._hooks: list[ProtectionHook] = []
+        self._subscriptions: list = []
         self._started = False
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def subscribe_to(self, network: DistributionFramework) -> None:
-        network.subscribe(self.notify, service_id=self.service_id)
+    def subscribe_to(self, network: DistributionFramework):
+        subscription = network.subscribe(self.notify,
+                                         service_id=self.service_id)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def detach(self) -> None:
+        """Cancel this monitor's network subscriptions (service teardown)."""
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
 
     def notify(self, measurement: Measurement) -> None:
         if measurement.service_id != self.service_id:

@@ -10,11 +10,14 @@ from .adaptive import HIGH, LOW, NORMAL, AdaptiveRateController
 from .agents import AggregatingKPI, MonitoringAgent
 from .codec import (
     CodecError,
+    PacketEncoder,
+    PacketHeader,
     decode_measurement,
     decode_value,
     encode_measurement,
     encode_value,
     naive_json_size,
+    peek_header,
 )
 from .consumers import MeasurementJournal, MeasurementStore
 from .dht import DHTError, DHTNode, DHTRing
@@ -22,6 +25,7 @@ from .distribution import (
     DistributionFramework,
     MulticastChannel,
     PubSubBroker,
+    Subscription,
     topic_for,
 )
 from .infomodel import ElaboratedValue, InformationModel
@@ -43,11 +47,14 @@ __all__ = [
     "AggregatingKPI",
     "MonitoringAgent",
     "CodecError",
+    "PacketEncoder",
+    "PacketHeader",
     "decode_measurement",
     "decode_value",
     "encode_measurement",
     "encode_value",
     "naive_json_size",
+    "peek_header",
     "MeasurementJournal",
     "MeasurementStore",
     "DHTError",
@@ -56,6 +63,7 @@ __all__ = [
     "DistributionFramework",
     "MulticastChannel",
     "PubSubBroker",
+    "Subscription",
     "topic_for",
     "ElaboratedValue",
     "InformationModel",

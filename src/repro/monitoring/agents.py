@@ -42,6 +42,8 @@ class AggregatingKPI:
 
     OPERATIONS = ("mean", "min", "max", "last")
 
+    __slots__ = ("raw", "operation", "samples")
+
     def __init__(self, raw: ValueFunction, *, operation: str = "mean",
                  window: int = 5):
         if operation not in self.OPERATIONS:
@@ -122,15 +124,27 @@ class MonitoringAgent:
         for name in list(self.datasource.probes):
             self.datasource.stop_probe(name)
 
+    def emit_all_now(self) -> None:
+        """Sample every exposed KPI immediately and publish as one batch."""
+        self.datasource.emit_all_now()
+
+
+#: declared wire type -> Python conversion, resolved per sample on the
+#: emission hot path (a dict hit instead of an if-chain)
+_COERCERS: dict[AttributeType, Any] = {
+    AttributeType.INTEGER: int,
+    AttributeType.LONG: int,
+    AttributeType.FLOAT: float,
+    AttributeType.DOUBLE: float,
+    AttributeType.BOOLEAN: bool,
+    AttributeType.STRING: str,
+}
+
 
 def _coerce(value: Any, type_: AttributeType) -> Any:
     """Convert an application value to the declared wire type."""
-    if type_ in (AttributeType.INTEGER, AttributeType.LONG):
-        return int(value)
-    if type_ in (AttributeType.FLOAT, AttributeType.DOUBLE):
-        return float(value)
-    if type_ is AttributeType.BOOLEAN:
-        return bool(value)
-    if type_ is AttributeType.STRING:
-        return str(value)
-    raise TypeError(f"unsupported type {type_}")  # pragma: no cover
+    try:
+        coerce = _COERCERS[type_]
+    except KeyError:
+        raise TypeError(f"unsupported type {type_}")  # pragma: no cover
+    return coerce(value)

@@ -14,22 +14,45 @@ deliberately NOT transmitted ("the measurement meta-data is not transmitted
 each time, but is kept separately in an information model", §5.2.2) — that
 is the size saving the paper's design argues for, and the ablation bench
 measures it against a naive JSON encoding.
+
+Hot-path layout
+---------------
+Encoding and decoding run once per packet per fabric hop, so both sides are
+table-driven: module-level :class:`struct.Struct` instances (compiled once),
+a tag → decoder dispatch dict, and a type → encoder dispatch dict. Two fast
+paths sit on top:
+
+* :func:`peek_header` decodes only the routing fields (qualified name +
+  service id) so the distribution framework can route a packet without
+  materialising a :class:`Measurement`;
+* :class:`PacketEncoder` caches a probe's encoded header prefix (magic,
+  version, qualified name, service id, probe id — none of which change
+  between one probe's packets), so steady-state encode is prefix + seqno +
+  timestamp + values. Its output is byte-identical to
+  :func:`encode_measurement`.
+
+Every malformed-input path raises :class:`CodecError` — never a bare
+``struct.error``, ``IndexError`` or ``UnicodeDecodeError`` — so consumers
+need exactly one except clause per packet.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any
+from typing import Any, Callable, NamedTuple
 
 from .measurements import AttributeType, Measurement
 
 __all__ = [
     "CodecError",
+    "PacketEncoder",
+    "PacketHeader",
     "encode_value",
     "decode_value",
     "encode_measurement",
     "decode_measurement",
+    "peek_header",
     "naive_json_size",
 ]
 
@@ -49,10 +72,55 @@ _TAGS: dict[AttributeType, int] = {
 }
 _TYPES = {tag: t for t, tag in _TAGS.items()}
 
+#: compiled wire structs, shared by every encoder/decoder
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_F32 = struct.Struct(">f")
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+
 
 def _pad4(n: int) -> int:
     """Bytes of zero padding to reach 4-byte alignment (XDR rule)."""
     return (4 - n % 4) % 4
+
+
+# ---------------------------------------------------------------------------
+# Value encoders: AttributeType -> bytes
+# ---------------------------------------------------------------------------
+
+def _make_fixed_encoder(tag: int, packer: struct.Struct):
+    prefix = bytes([tag])
+    pack = packer.pack
+
+    def encode(value: Any) -> bytes:
+        return prefix + pack(value)
+
+    return encode
+
+
+_TAG_BOOL = bytes([_TAGS[AttributeType.BOOLEAN]])
+_TAG_STR = bytes([_TAGS[AttributeType.STRING]])
+
+
+def _encode_bool(value: Any) -> bytes:
+    return _TAG_BOOL + _I32.pack(1 if value else 0)
+
+
+def _encode_string(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return (_TAG_STR + _U32.pack(len(raw)) + raw
+            + b"\x00" * _pad4(len(raw)))
+
+
+_ENCODERS: dict[AttributeType, Callable[[Any], bytes]] = {
+    AttributeType.INTEGER: _make_fixed_encoder(_TAGS[AttributeType.INTEGER], _I32),
+    AttributeType.LONG: _make_fixed_encoder(_TAGS[AttributeType.LONG], _I64),
+    AttributeType.FLOAT: _make_fixed_encoder(_TAGS[AttributeType.FLOAT], _F32),
+    AttributeType.DOUBLE: _make_fixed_encoder(_TAGS[AttributeType.DOUBLE], _F64),
+    AttributeType.BOOLEAN: _encode_bool,
+    AttributeType.STRING: _encode_string,
+}
 
 
 def encode_value(value: Any, type_: AttributeType | None = None) -> bytes:
@@ -60,61 +128,145 @@ def encode_value(value: Any, type_: AttributeType | None = None) -> bytes:
     t = type_ or AttributeType.for_python_value(value)
     if not t.accepts(value):
         raise CodecError(f"{value!r} is not a valid {t.value}")
-    tag = bytes([_TAGS[t]])
-    if t is AttributeType.INTEGER:
-        return tag + struct.pack(">i", value)
-    if t is AttributeType.LONG:
-        return tag + struct.pack(">q", value)
-    if t is AttributeType.FLOAT:
-        return tag + struct.pack(">f", value)
-    if t is AttributeType.DOUBLE:
-        return tag + struct.pack(">d", value)
-    if t is AttributeType.BOOLEAN:
-        return tag + struct.pack(">i", 1 if value else 0)
-    if t is AttributeType.STRING:
-        raw = value.encode("utf-8")
-        return (tag + struct.pack(">I", len(raw)) + raw
-                + b"\x00" * _pad4(len(raw)))
-    raise CodecError(f"unsupported type {t}")  # pragma: no cover
+    try:
+        encoder = _ENCODERS[t]
+    except KeyError:
+        raise CodecError(f"unsupported type {t}") from None  # pragma: no cover
+    try:
+        return encoder(value)
+    except struct.error as exc:
+        raise CodecError(f"{value!r} does not fit {t.value}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Value decoders: tag -> (buf, offset-past-tag) -> (value, next offset)
+# ---------------------------------------------------------------------------
+
+def _make_fixed_decoder(packer: struct.Struct,
+                        cast: Callable[[Any], Any] | None = None):
+    unpack_from = packer.unpack_from
+    size = packer.size
+    if cast is None:
+        def decode(buf: bytes, offset: int):
+            try:
+                return unpack_from(buf, offset)[0], offset + size
+            except struct.error as exc:
+                raise CodecError(f"truncated buffer: {exc}") from exc
+    else:
+        def decode(buf: bytes, offset: int):
+            try:
+                return cast(unpack_from(buf, offset)[0]), offset + size
+            except struct.error as exc:
+                raise CodecError(f"truncated buffer: {exc}") from exc
+    return decode
+
+
+def _decode_string(buf: bytes, offset: int):
+    try:
+        (length,) = _U32.unpack_from(buf, offset)
+    except struct.error as exc:
+        raise CodecError(f"truncated buffer: {exc}") from exc
+    offset += 4
+    end = offset + length
+    padded_end = end + _pad4(length)
+    if padded_end > len(buf):
+        raise CodecError("truncated string body")
+    try:
+        return buf[offset:end].decode("utf-8"), padded_end
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"invalid UTF-8 in string body: {exc}") from exc
+
+
+_DECODERS: dict[int, Callable[[bytes, int], tuple[Any, int]]] = {
+    _TAGS[AttributeType.INTEGER]: _make_fixed_decoder(_I32),
+    _TAGS[AttributeType.LONG]: _make_fixed_decoder(_I64),
+    _TAGS[AttributeType.FLOAT]: _make_fixed_decoder(_F32),
+    _TAGS[AttributeType.DOUBLE]: _make_fixed_decoder(_F64),
+    _TAGS[AttributeType.BOOLEAN]: _make_fixed_decoder(_I32, bool),
+    _TAGS[AttributeType.STRING]: _decode_string,
+}
 
 
 def decode_value(buf: bytes, offset: int = 0) -> tuple[Any, int]:
     """Decode one tagged value; returns (value, next offset)."""
-    if offset >= len(buf):
-        raise CodecError("truncated buffer: no type tag")
     try:
-        t = _TYPES[buf[offset]]
+        decoder = _DECODERS[buf[offset]]
+    except IndexError:
+        raise CodecError("truncated buffer: no type tag") from None
     except KeyError:
         raise CodecError(f"unknown type tag {buf[offset]:#x}") from None
-    offset += 1
-    try:
-        if t is AttributeType.INTEGER:
-            return struct.unpack_from(">i", buf, offset)[0], offset + 4
-        if t is AttributeType.LONG:
-            return struct.unpack_from(">q", buf, offset)[0], offset + 8
-        if t is AttributeType.FLOAT:
-            return struct.unpack_from(">f", buf, offset)[0], offset + 4
-        if t is AttributeType.DOUBLE:
-            return struct.unpack_from(">d", buf, offset)[0], offset + 8
-        if t is AttributeType.BOOLEAN:
-            return bool(struct.unpack_from(">i", buf, offset)[0]), offset + 4
-        if t is AttributeType.STRING:
-            (length,) = struct.unpack_from(">I", buf, offset)
-            offset += 4
-            end = offset + length
-            padded_end = end + _pad4(length)
-            if padded_end > len(buf):
-                raise CodecError("truncated string body")
-            value = buf[offset:end].decode("utf-8")
-            return value, padded_end
-    except struct.error as exc:
-        raise CodecError(f"truncated buffer: {exc}") from exc
-    raise CodecError(f"unsupported type {t}")  # pragma: no cover
+    return decoder(buf, offset + 1)
 
+
+# ---------------------------------------------------------------------------
+# Measurement packets
+# ---------------------------------------------------------------------------
 
 #: wire-format magic + version, guarding against stream desync
 _MAGIC = b"RMON"
 _VERSION = 1
+
+#: the fixed first 8 bytes of every packet
+_HEADER_PREFIX = _MAGIC + _U32.pack(_VERSION)
+
+
+class PacketHeader(NamedTuple):
+    """The routing fields of a packet, decoded by :func:`peek_header`."""
+
+    qualified_name: str
+    service_id: str
+    #: offset of the first byte after the service id (the probe id value);
+    #: a full decode can resume here without re-reading the routing fields.
+    body_offset: int
+
+
+def _check_preamble(buf: bytes) -> None:
+    if buf[:4] != _MAGIC:
+        raise CodecError("bad magic: not a measurement packet")
+    try:
+        (version,) = _U32.unpack_from(buf, 4)
+    except struct.error as exc:
+        raise CodecError("truncated header") from exc
+    if version != _VERSION:
+        raise CodecError(f"unsupported wire version {version}")
+
+
+_STR_TAG = _TAGS[AttributeType.STRING]
+
+
+def peek_header(buf: bytes) -> PacketHeader:
+    """Decode just enough of a packet to route it.
+
+    Returns the qualified name and service id without touching the probe id,
+    seqno, timestamp or values — the distribution framework uses this to
+    decide whether anyone wants the packet before paying for a full decode.
+    """
+    # Fast path: well-formed packet with in-range string routing fields,
+    # parsed inline without the per-value dispatch. Any irregularity falls
+    # through to the strict parse below for the precise CodecError.
+    n = len(buf)
+    try:
+        if buf[:8] == _HEADER_PREFIX and buf[8] == _STR_TAG:
+            (length,) = _U32.unpack_from(buf, 9)
+            end = 13 + length
+            offset = end + (-length % 4)
+            if offset < n and buf[offset] == _STR_TAG:
+                qname = buf[13:end].decode("utf-8")
+                (length,) = _U32.unpack_from(buf, offset + 1)
+                start = offset + 5
+                end = start + length
+                offset = end + (-length % 4)
+                if offset <= n:
+                    return PacketHeader(qname, buf[start:end].decode("utf-8"),
+                                        offset)
+    except (struct.error, UnicodeDecodeError, IndexError):
+        pass
+    _check_preamble(buf)
+    qname, offset = decode_value(buf, 8)
+    service_id, offset = decode_value(buf, offset)
+    if type(qname) is not str or type(service_id) is not str:
+        raise CodecError("malformed header: routing fields must be strings")
+    return PacketHeader(qname, service_id, offset)
 
 
 def encode_measurement(m: Measurement) -> bytes:
@@ -124,34 +276,111 @@ def encode_measurement(m: Measurement) -> bytes:
     (hyper), timestamp (double), value count (int), then tagged values.
     """
     parts = [
-        _MAGIC,
-        struct.pack(">I", _VERSION),
+        _HEADER_PREFIX,
         encode_value(m.qualified_name),
         encode_value(m.service_id),
         encode_value(m.probe_id),
         encode_value(m.seqno, AttributeType.LONG),
         encode_value(m.timestamp, AttributeType.DOUBLE),
-        struct.pack(">I", len(m.values)),
+        _U32.pack(len(m.values)),
     ]
     parts.extend(encode_value(v) for v in m.values)
     return b"".join(parts)
 
 
-def decode_measurement(buf: bytes) -> Measurement:
-    """Decode a packet produced by :func:`encode_measurement`."""
-    if buf[:4] != _MAGIC:
-        raise CodecError("bad magic: not a measurement packet")
-    (version,) = struct.unpack_from(">I", buf, 4)
-    if version != _VERSION:
-        raise CodecError(f"unsupported wire version {version}")
-    offset = 8
-    qname, offset = decode_value(buf, offset)
-    service_id, offset = decode_value(buf, offset)
-    probe_id, offset = decode_value(buf, offset)
-    seqno, offset = decode_value(buf, offset)
-    timestamp, offset = decode_value(buf, offset)
+class PacketEncoder:
+    """Per-probe encoder caching the constant header prefix.
+
+    A probe's qualified name, service id and probe id never change between
+    its packets, so the tag-prefixed XDR encoding of those three strings
+    (plus magic and version) is computed once here; each :meth:`encode` call
+    then appends only the per-packet fields. Output is byte-identical to
+    :func:`encode_measurement`, which tests assert.
+    """
+
+    __slots__ = ("qualified_name", "service_id", "probe_id", "_prefix")
+
+    def __init__(self, qualified_name: str, service_id: str, probe_id: str):
+        self.qualified_name = qualified_name
+        self.service_id = service_id
+        self.probe_id = probe_id
+        self._prefix = (
+            _HEADER_PREFIX
+            + encode_value(qualified_name, AttributeType.STRING)
+            + encode_value(service_id, AttributeType.STRING)
+            + encode_value(probe_id, AttributeType.STRING)
+        )
+
+    def encode(self, m: Measurement) -> bytes:
+        if (m.qualified_name != self.qualified_name
+                or m.service_id != self.service_id
+                or m.probe_id != self.probe_id):
+            raise CodecError(
+                f"measurement identity {(m.qualified_name, m.service_id, m.probe_id)!r}"
+                f" does not match encoder identity "
+                f"{(self.qualified_name, self.service_id, self.probe_id)!r}"
+            )
+        parts = [
+            self._prefix,
+            encode_value(m.seqno, AttributeType.LONG),
+            encode_value(m.timestamp, AttributeType.DOUBLE),
+            _U32.pack(len(m.values)),
+        ]
+        parts.extend(encode_value(v) for v in m.values)
+        return b"".join(parts)
+
+
+_LONG_TAG = _TAGS[AttributeType.LONG]
+_DOUBLE_TAG = _TAGS[AttributeType.DOUBLE]
+
+
+def _decode_tail_fast(buf: bytes, offset: int):
+    """Inline parse of the canonical packet tail (string probe id, hyper
+    seqno, double timestamp) — the layout :func:`encode_measurement` always
+    produces. Returns ``None`` on any other layout or irregularity so the
+    caller can fall back to the strict per-value dispatch."""
     try:
-        (count,) = struct.unpack_from(">I", buf, offset)
+        if buf[offset] != _STR_TAG:
+            return None
+        (length,) = _U32.unpack_from(buf, offset + 1)
+        start = offset + 5
+        end = start + length
+        offset = end + (-length % 4)
+        # 18 = two tag bytes + 8-byte hyper + 8-byte double
+        if (offset + 18 > len(buf) or buf[offset] != _LONG_TAG
+                or buf[offset + 9] != _DOUBLE_TAG):
+            return None
+        probe_id = buf[start:end].decode("utf-8")
+        (seqno,) = _I64.unpack_from(buf, offset + 1)
+        (timestamp,) = _F64.unpack_from(buf, offset + 10)
+        return probe_id, seqno, timestamp, offset + 18
+    except (struct.error, UnicodeDecodeError, IndexError):
+        return None
+
+
+def decode_measurement(buf: bytes, *,
+                       header: PacketHeader | None = None) -> Measurement:
+    """Decode a packet produced by :func:`encode_measurement`.
+
+    A caller that already routed the packet via :func:`peek_header` can pass
+    that header back to resume the decode at ``body_offset`` instead of
+    re-parsing the preamble and routing strings.
+    """
+    if header is None:
+        _check_preamble(buf)
+        qname, offset = decode_value(buf, 8)
+        service_id, offset = decode_value(buf, offset)
+    else:
+        qname, service_id, offset = header
+    tail = _decode_tail_fast(buf, offset)
+    if tail is not None:
+        probe_id, seqno, timestamp, offset = tail
+    else:
+        probe_id, offset = decode_value(buf, offset)
+        seqno, offset = decode_value(buf, offset)
+        timestamp, offset = decode_value(buf, offset)
+    try:
+        (count,) = _U32.unpack_from(buf, offset)
     except struct.error as exc:
         raise CodecError("truncated value count") from exc
     offset += 4
@@ -159,10 +388,13 @@ def decode_measurement(buf: bytes) -> Measurement:
     for _ in range(count):
         value, offset = decode_value(buf, offset)
         values.append(value)
-    return Measurement(
-        qualified_name=qname, service_id=service_id, probe_id=probe_id,
-        timestamp=timestamp, values=tuple(values), seqno=seqno,
-    )
+    try:
+        return Measurement(
+            qualified_name=qname, service_id=service_id, probe_id=probe_id,
+            timestamp=timestamp, values=tuple(values), seqno=seqno,
+        )
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed measurement fields: {exc}") from exc
 
 
 def naive_json_size(m: Measurement, attribute_names: list[str],

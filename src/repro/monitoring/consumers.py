@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Callable, Optional
 
-from .distribution import DistributionFramework
+from .distribution import DistributionFramework, Subscription
 from .measurements import Measurement
 
 __all__ = ["MeasurementStore", "MeasurementJournal"]
@@ -45,9 +45,10 @@ class MeasurementStore:
 
     def subscribe_to(self, network: DistributionFramework, *,
                      service_id: Optional[str] = None,
-                     qualified_name: Optional[str] = None) -> None:
-        network.subscribe(self.notify, service_id=service_id,
-                          qualified_name=qualified_name)
+                     qualified_name: Optional[str] = None) -> Subscription:
+        """Attach to a fabric; keep the returned handle to detach later."""
+        return network.subscribe(self.notify, service_id=service_id,
+                                 qualified_name=qualified_name)
 
     def add_listener(self, listener: Callable[[Measurement], None]) -> None:
         """Called on every notification — used to trigger rule evaluation."""
@@ -95,9 +96,10 @@ class MeasurementJournal:
 
     def subscribe_to(self, network: DistributionFramework, *,
                      service_id: Optional[str] = None,
-                     qualified_name: Optional[str] = None) -> None:
-        network.subscribe(self.notify, service_id=service_id,
-                          qualified_name=qualified_name)
+                     qualified_name: Optional[str] = None) -> Subscription:
+        """Attach to a fabric; keep the returned handle to detach later."""
+        return network.subscribe(self.notify, service_id=service_id,
+                                 qualified_name=qualified_name)
 
     def __len__(self) -> int:
         return len(self._events)

@@ -21,6 +21,7 @@ import itertools
 from typing import Any, Callable, Optional, Sequence
 
 from ..sim import Environment, Interrupt
+from .codec import PacketEncoder
 from .distribution import DistributionFramework
 from .measurements import (
     DataDictionary,
@@ -61,6 +62,7 @@ class Probe:
         self._seq = itertools.count(1)
         self.datasource: Optional["DataSource"] = None
         self.measurements_sent = 0
+        self._encoder: Optional[PacketEncoder] = None
 
     def take_measurement(self, env: Environment,
                          service_id: str) -> Optional[Measurement]:
@@ -78,6 +80,21 @@ class Probe:
             values=values,
             seqno=next(self._seq),
         )
+
+    def encode_packet(self, measurement: Measurement) -> bytes:
+        """Wire bytes for one of this probe's measurements.
+
+        Uses a cached :class:`PacketEncoder` — the probe's qualified name,
+        probe id and (per data source) service id never change, so the
+        header prefix is encoded once and steady-state encode cost is the
+        per-packet fields only. Output is byte-identical to
+        ``encode_measurement``.
+        """
+        encoder = self._encoder
+        if encoder is None or encoder.service_id != measurement.service_id:
+            encoder = self._encoder = PacketEncoder(
+                self.qualified_name, measurement.service_id, self.probe_id)
+        return encoder.encode(measurement)
 
     def turn_on(self) -> None:
         self.on = True
@@ -160,9 +177,28 @@ class DataSource:
             return None
         measurement = probe.take_measurement(self.env, self.service_id)
         if measurement is not None:
-            self.network.publish(measurement)
+            self.network.publish(measurement,
+                                 packet=probe.encode_packet(measurement))
             probe.measurements_sent += 1
         return measurement
+
+    def emit_all_now(self) -> list[Measurement]:
+        """Collect every ``on`` probe once and publish the results as one
+        batch — packets sharing the fabric's latency edge cost a single
+        kernel event (see ``DistributionFramework.publish_many``)."""
+        measurements: list[Measurement] = []
+        packets: list[bytes] = []
+        for probe in self.probes.values():
+            if not probe.on:
+                continue
+            measurement = probe.take_measurement(self.env, self.service_id)
+            if measurement is None:
+                continue
+            measurements.append(measurement)
+            packets.append(probe.encode_packet(measurement))
+            probe.measurements_sent += 1
+        self.network.publish_many(measurements, packets=packets)
+        return measurements
 
     # -- internals -----------------------------------------------------------
     def _emission_loop(self, probe: Probe):
@@ -175,7 +211,8 @@ class DataSource:
                     continue
                 measurement = probe.take_measurement(self.env, self.service_id)
                 if measurement is not None:
-                    self.network.publish(measurement)
+                    self.network.publish(
+                        measurement, packet=probe.encode_packet(measurement))
                     probe.measurements_sent += 1
         except Interrupt:
             pass

@@ -48,7 +48,7 @@ class MonitoringRelay:
         self.forwarded = 0
         self.suppressed = 0
         self.enabled = True
-        source.subscribe(self._on_measurement)
+        self._subscription = source.subscribe(self._on_measurement)
 
     # ------------------------------------------------------------------
     def _key(self, m: Measurement) -> tuple:
@@ -98,4 +98,7 @@ class MonitoringRelay:
         self.forwarded += 1
 
     def stop(self) -> None:
+        """Disable forwarding and release the source-side subscription so a
+        retired relay no longer occupies the fabric's routing structures."""
         self.enabled = False
+        self._subscription.cancel()

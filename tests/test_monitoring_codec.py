@@ -11,12 +11,14 @@ from repro.monitoring import (
     CodecError,
     DataDictionary,
     Measurement,
+    PacketEncoder,
     ProbeAttribute,
     decode_measurement,
     decode_value,
     encode_measurement,
     encode_value,
     naive_json_size,
+    peek_header,
     validate_qualified_name,
 )
 
@@ -223,6 +225,159 @@ def test_measurement_round_trip_property(values, seqno, timestamp):
             assert math.isnan(a)
         else:
             assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Header peek
+# ---------------------------------------------------------------------------
+
+def test_peek_header_matches_full_decode():
+    m = make_measurement(values=(7, 0.5, "busy", True), seqno=42)
+    buf = encode_measurement(m)
+    header = peek_header(buf)
+    assert header.qualified_name == m.qualified_name
+    assert header.service_id == m.service_id
+    # body_offset points at the probe id value
+    probe_id, _ = decode_value(buf, header.body_offset)
+    assert probe_id == m.probe_id
+
+
+def test_peek_header_bad_magic():
+    with pytest.raises(CodecError):
+        peek_header(b"XXXX" + b"\x00" * 20)
+
+
+def test_peek_header_bad_version():
+    buf = bytearray(encode_measurement(make_measurement()))
+    buf[7] = 99
+    with pytest.raises(CodecError):
+        peek_header(bytes(buf))
+
+
+def test_peek_header_truncated():
+    buf = encode_measurement(make_measurement())
+    with pytest.raises(CodecError):
+        peek_header(buf[:6])
+
+
+# ---------------------------------------------------------------------------
+# Cached-prefix PacketEncoder
+# ---------------------------------------------------------------------------
+
+def test_packet_encoder_byte_identical():
+    m = make_measurement(values=(7, 0.5, "büsy", True), seqno=42)
+    enc = PacketEncoder(m.qualified_name, m.service_id, m.probe_id)
+    assert enc.encode(m) == encode_measurement(m)
+    # steady state: only per-packet fields change, prefix is reused
+    m2 = make_measurement(values=(8, -1.25, "", False), seqno=43,
+                          timestamp=999.0)
+    assert enc.encode(m2) == encode_measurement(m2)
+
+
+def test_packet_encoder_rejects_identity_mismatch():
+    m = make_measurement()
+    enc = PacketEncoder(m.qualified_name, m.service_id, m.probe_id)
+    stranger = make_measurement(probe_id="probe-other")
+    with pytest.raises(CodecError):
+        enc.encode(stranger)
+
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.floats(allow_nan=False, allow_infinity=True, width=64),
+            st.booleans(),
+            st.text(max_size=40),  # includes non-ASCII and non-BMP chars
+        ),
+        max_size=8,
+    ),
+    seqno=st.integers(min_value=0, max_value=2**31),
+    timestamp=st.floats(min_value=0, max_value=1e12),
+)
+@settings(max_examples=150)
+def test_packet_encoder_byte_identical_property(values, seqno, timestamp):
+    m = make_measurement(values=tuple(values), seqno=seqno,
+                         timestamp=timestamp)
+    enc = PacketEncoder(m.qualified_name, m.service_id, m.probe_id)
+    assert enc.encode(m) == encode_measurement(m)
+
+
+# ---------------------------------------------------------------------------
+# Truncation / corruption fuzz: malformed wire data must always surface as
+# CodecError, never struct.error / IndexError / UnicodeDecodeError.
+# ---------------------------------------------------------------------------
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.floats(allow_nan=False, width=64),
+            st.booleans(),
+            st.text(max_size=12),
+        ),
+        max_size=4,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_strict_prefix_raises_codec_error(values):
+    buf = encode_measurement(make_measurement(values=tuple(values)))
+    assert decode_measurement(buf).values == tuple(values)
+    for cut in range(len(buf)):
+        with pytest.raises(CodecError):
+            decode_measurement(buf[:cut])
+
+
+@given(
+    text=st.text(min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_strict_prefix_of_value_raises_codec_error(text):
+    buf = encode_value(text)
+    for cut in range(len(buf)):
+        with pytest.raises(CodecError):
+            decode_value(buf[:cut])
+
+
+def test_peek_header_on_prefixes_never_leaks_raw_errors():
+    buf = encode_measurement(make_measurement())
+    header = peek_header(buf)
+    for cut in range(len(buf)):
+        try:
+            peeked = peek_header(buf[:cut])
+        except CodecError:
+            continue  # too short to route — acceptable
+        # long enough to carry the routing fields: must agree with the whole
+        assert (peeked.qualified_name, peeked.service_id) == (
+            header.qualified_name, header.service_id)
+
+
+@given(junk=st.binary(max_size=80))
+@settings(max_examples=200)
+def test_decode_random_bytes_raises_only_codec_error(junk):
+    for decoder in (decode_measurement, peek_header):
+        try:
+            decoder(junk)
+        except CodecError:
+            pass
+    try:
+        decode_value(junk)
+    except CodecError:
+        pass
+
+
+def test_invalid_utf8_string_body_is_codec_error():
+    buf = bytearray(encode_value("abcd"))
+    buf[-4:] = b"\xff\xfe\xfd\xfc"  # clobber the 4-byte body
+    with pytest.raises(CodecError):
+        decode_value(bytes(buf))
+
+
+def test_non_bmp_string_round_trip():
+    value = "violin \U0001d11e and bulb \U0001f4a1"
+    decoded, offset = decode_value(encode_value(value))
+    assert decoded == value
+    assert offset == len(encode_value(value))
 
 
 def test_xdr_smaller_than_naive_json():

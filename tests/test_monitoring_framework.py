@@ -7,6 +7,7 @@ from repro.monitoring import (
     AggregatingKPI,
     AttributeType,
     InformationModel,
+    Measurement,
     MeasurementJournal,
     MeasurementStore,
     MonitoringAgent,
@@ -240,6 +241,216 @@ def test_negative_latency_rejected():
     env = Environment()
     with pytest.raises(ValueError):
         MulticastChannel(env, latency_s=-1)
+
+
+# ---------------------------------------------------------------------------
+# Unsubscribe / subscription lifecycle
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("factory", [MulticastChannel, PubSubBroker])
+def test_unsubscribe_stops_delivery(factory):
+    env = Environment()
+    net = factory(env)
+    store = MeasurementStore()
+    sub = store.subscribe_to(net)
+    assert net.subscription_count == 1
+    ds = _emit(env, net)
+    env.run(until=15)
+    assert store.notifications == 1
+    net.unsubscribe(sub)
+    assert net.subscription_count == 0
+    assert not sub.active
+    env.run(until=45)
+    assert store.notifications == 1  # no deliveries after teardown
+    net.unsubscribe(sub)  # idempotent
+
+
+def test_subscription_cancel_shorthand():
+    env = Environment()
+    net = PubSubBroker(env)
+    store = MeasurementStore()
+    sub = store.subscribe_to(net)
+    sub.cancel()
+    sub.cancel()
+    assert net.subscription_count == 0
+
+
+def test_unsubscribe_foreign_subscription_rejected():
+    env = Environment()
+    net_a, net_b = PubSubBroker(env), PubSubBroker(env)
+    sub = net_a.subscribe(lambda m: None)
+    with pytest.raises(ValueError):
+        net_b.unsubscribe(sub)
+
+
+def test_route_cache_invalidated_by_subscription_churn():
+    env = Environment()
+    net = PubSubBroker(env)
+    first, late = MeasurementStore(), MeasurementStore()
+    first.subscribe_to(net, qualified_name="uk.ucl.a.b")
+    ds = _emit(env, net)
+    env.run(until=15)
+    assert first.notifications == 1
+    # the route for this header is now cached; a later subscriber must
+    # still be seen by the next packet
+    late.subscribe_to(net, qualified_name="uk.ucl.*")
+    env.run(until=25)
+    assert first.notifications == 2
+    assert late.notifications == 1
+
+
+def test_relay_stop_releases_subscription():
+    from repro.monitoring import MonitoringRelay
+    env = Environment()
+    site_a, site_b = MulticastChannel(env), MulticastChannel(env)
+    relay = MonitoringRelay(env, source=site_a, target=site_b)
+    assert site_a.subscription_count == 1
+    relay.stop()
+    assert site_a.subscription_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Lazy decode and delivery batching
+# ---------------------------------------------------------------------------
+
+def test_broker_skips_decode_when_nobody_matches():
+    env = Environment()
+    net = PubSubBroker(env)
+    other = MeasurementStore()
+    other.subscribe_to(net, qualified_name="com.sap.*")
+    _emit(env, net)  # publishes uk.ucl.a.b
+    env.run(until=15)
+    assert other.notifications == 0
+    assert net.packets_published == 1
+    assert net.packets_decoded == 0  # routed away without materialising
+    assert net.bytes_delivered == 0
+
+
+def test_broker_decodes_once_for_many_subscribers():
+    env = Environment()
+    net = PubSubBroker(env)
+    stores = [MeasurementStore() for _ in range(5)]
+    for s in stores:
+        s.subscribe_to(net, qualified_name="uk.ucl.*")
+    _emit(env, net)
+    env.run(until=15)
+    assert all(s.notifications == 1 for s in stores)
+    assert net.packets_decoded == 1  # shared by all five consumers
+
+
+def test_multicast_counts_bytes_without_decoding_unmatched():
+    env = Environment()
+    net = MulticastChannel(env)
+    other = MeasurementStore()
+    other.subscribe_to(net, qualified_name="com.sap.*")
+    _emit(env, net)
+    env.run(until=15)
+    assert other.notifications == 0
+    assert net.bytes_delivered == net.bytes_published  # traversed the wire
+    assert net.packets_decoded == 0                    # but never decoded
+
+
+def test_same_instant_packets_share_one_delivery_event():
+    env = Environment()
+    net = PubSubBroker(env, latency_s=2.0)
+    store = MeasurementStore()
+    store.subscribe_to(net)
+    ms = [Measurement("uk.ucl.a.b", "svc-1", "p-1", 0.0, (i,), seqno=i)
+          for i in range(50)]
+    for m in ms:
+        net.publish(m)
+    env.run(until=1.5)
+    assert store.notifications == 0  # still in flight
+    env.run(until=2.5)
+    assert store.notifications == 50
+    assert net.delivery_events == 1  # coalesced, not one process per packet
+
+
+def test_delayed_batches_preserve_order_across_instants():
+    env = Environment()
+    net = PubSubBroker(env, latency_s=1.0)
+    seen = []
+    net.subscribe(lambda m: seen.append((env.now, m.seqno)))
+
+    def producer(env):
+        for i in range(3):
+            net.publish(Measurement("uk.ucl.a.b", "svc-1", "p-1",
+                                    env.now, (i,), seqno=i))
+            net.publish(Measurement("uk.ucl.a.b", "svc-1", "p-1",
+                                    env.now, (i,), seqno=100 + i))
+            yield env.timeout(5)
+
+    env.process(producer(env))
+    env.run()
+    assert seen == [(1.0, 0), (1.0, 100), (6.0, 1), (6.0, 101),
+                    (11.0, 2), (11.0, 102)]
+    assert net.delivery_events == 3
+
+
+def test_publish_many_batches_delivery():
+    env = Environment()
+    net = PubSubBroker(env, latency_s=3.0)
+    store = MeasurementStore()
+    store.subscribe_to(net)
+    ms = [Measurement("uk.ucl.a.b", "svc-1", "p-1", 0.0, (i,), seqno=i)
+          for i in range(10)]
+    net.publish_many(ms)
+    assert net.packets_published == 10
+    env.run()
+    assert store.notifications == 10
+    assert net.delivery_events == 1
+
+
+def test_publish_many_packet_alignment_checked():
+    env = Environment()
+    net = PubSubBroker(env)
+    m = Measurement("uk.ucl.a.b", "svc-1", "p-1", 0.0, (1,))
+    with pytest.raises(ValueError):
+        net.publish_many([m], packets=[])
+
+
+def test_datasource_emit_all_now_publishes_batch():
+    env = Environment()
+    net = PubSubBroker(env, latency_s=1.0)
+    store = MeasurementStore()
+    store.subscribe_to(net)
+    ds = DataSource(env, "ds", "svc-1", net)
+    values = {"a.b.x": 1, "a.b.y": 2, "a.b.z": 3}
+    for qname, v in values.items():
+        probe = Probe(
+            name=qname, qualified_name=qname,
+            attributes=[ProbeAttribute("v", AttributeType.INTEGER)],
+            collector=(lambda v=v: (v,)),
+        )
+        ds.add_probe(probe, start=False)
+    ds.probes["a.b.y"].turn_off()
+    emitted = ds.emit_all_now()
+    assert [m.qualified_name for m in emitted] == ["a.b.x", "a.b.z"]
+    env.run()
+    assert store.notifications == 2
+    assert net.delivery_events == 1
+    assert store.value("svc-1", "a.b.z") == 3
+
+
+def test_probe_emission_packets_byte_identical_to_reference_codec():
+    from repro.monitoring import decode_measurement, encode_measurement
+
+    env = Environment()
+    captured = []
+
+    class CapturingBroker(PubSubBroker):
+        def publish(self, measurement, *, packet=None):
+            captured.append((measurement, packet))
+            super().publish(measurement, packet=packet)
+
+    net = CapturingBroker(env)
+    ds = DataSource(env, "ds", "svc-1", net)
+    ds.add_probe(make_probe(rate=10))
+    env.run(until=35)
+    assert len(captured) == 3
+    for measurement, packet in captured:
+        assert packet == encode_measurement(measurement)
+        assert decode_measurement(packet) == measurement
 
 
 # ---------------------------------------------------------------------------

@@ -374,6 +374,23 @@ def test_undeploy_stops_everything_in_reverse_order():
     assert service.instance_count("web") == 0
 
 
+def test_undeploy_releases_monitoring_subscription():
+    """Undeployed services must not leak routing state in the fabric."""
+    env = Environment()
+    veem = make_veem(env)
+    sm = ServiceManager(env, veem)
+    service = sm.deploy(web_manifest())
+    env.run(until=service.deployment)
+    assert sm.network.subscription_count == 1  # the rule interpreter
+    env.run(until=sm.undeploy(service))
+    assert sm.network.subscription_count == 0
+    # late measurements for the dead service are dropped, not delivered
+    before = service.interpreter.store.notifications
+    sm.network.publish(Measurement("com.shop.lb.sessions",
+                                   service.service_id, "p-9", env.now, (5,)))
+    assert service.interpreter.store.notifications == before
+
+
 def test_accounting_tracks_instances():
     env = Environment()
     veem = make_veem(env)
