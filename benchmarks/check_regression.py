@@ -32,6 +32,7 @@ HEADLINE = (
     "test_broker_fanout_indexed_1k",
     "test_probe_emission_throughput",
     "test_codec_header_peek",
+    "test_control_plane_churn",
 )
 
 #: Recorded in the baseline for context (e.g. the linear-scan routing mode

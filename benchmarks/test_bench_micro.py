@@ -292,3 +292,42 @@ def test_manifest_xml_round_trip(benchmark):
         return manifest_from_xml(manifest_to_xml(manifest))
 
     assert benchmark(round_trip) == manifest
+
+
+def test_control_plane_churn(benchmark):
+    """Full control-plane churn round: burst-submit 8 services from 3
+    tenants onto a 4-host site, drain the queue through releases."""
+    from repro.cloud import Host, HypervisorTimings, ImageRepository, VEEM
+    from repro.control import ControlPlane, TenantQuota
+    from repro.core.manifest import ManifestBuilder
+
+    timings = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2)
+    manifests = [
+        ManifestBuilder(f"svc{i}")
+        .component("app", image_mb=64, cpu=4, memory_mb=8192)
+        .build()
+        for i in range(8)
+    ]
+
+    def churn():
+        env = Environment()
+        control = ControlPlane(env)
+        veem = VEEM(env,
+                    repository=ImageRepository(bandwidth_mb_per_s=1000))
+        for i in range(4):
+            veem.add_host(Host(env, f"h{i}", cpu_cores=4, memory_mb=8192,
+                               timings=timings))
+        control.add_site("site", veem)
+        for t in range(3):
+            control.register_tenant(f"t{t}",
+                                    quota=TenantQuota(max_services=3))
+        for i, manifest in enumerate(manifests):
+            control.submit(f"t{i % 3}", manifest, service_id=f"svc-{i}")
+        env.run(until=500)
+        while control.active_requests() or control.queue_depth:
+            for request in control.active_requests():
+                control.release(request)
+            env.run(until=env.now + 500)
+        return control.counters["released"]
+
+    assert benchmark(churn) == 8

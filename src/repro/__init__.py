@@ -13,6 +13,9 @@ Package map
 ``repro.cloud``
     The simulated RESERVOIR infrastructure layers: VEEH hosts, VEEM,
     placement policies/constraints, images, virtual networks, federation.
+``repro.control``
+    The multi-tenant provisioning control plane: named tenants with quotas,
+    fair admission queueing, backpressure, federated site selection.
 ``repro.monitoring``
     The monitoring framework: probes and data dictionaries, XDR wire codec,
     multicast / pub-sub distribution, DHT-backed information model, agents.
@@ -47,7 +50,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import apps, cloud, core, experiments, grid, monitoring, sim
+from . import apps, cloud, control, core, experiments, grid, monitoring, sim
 
-__all__ = ["apps", "cloud", "core", "experiments", "grid", "monitoring",
-           "sim", "__version__"]
+__all__ = ["apps", "cloud", "control", "core", "experiments", "grid",
+           "monitoring", "sim", "__version__"]

@@ -21,6 +21,10 @@ Commands
     Plan provider capacity for a workload mix (§8): hosts needed for the
     guaranteed floor and the worst-case ceiling; with ``--hosts`` also run
     admission control over the pool.
+``control-demo [--tenants N] [--services N] [--hosts N]``
+    Run the multi-tenant control-plane demo: tenants burst-submit services
+    against a two-site federation, the plane admits what fits, queues the
+    rest fairly, and drains the queue as services are released.
 """
 
 from __future__ import annotations
@@ -172,6 +176,83 @@ def _cmd_capacity(args) -> int:
     return 0
 
 
+def _cmd_control_demo(args) -> int:
+    from .cloud import Host, HypervisorTimings, ImageRepository, VEEM
+    from .control import Admitted, ControlPlane, Queued, TenantQuota
+    from .core.manifest import ManifestBuilder
+    from .sim import Environment
+
+    env = Environment()
+    control = ControlPlane(env)
+    timings = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2)
+
+    def make_veem(n_hosts):
+        veem = VEEM(env, repository=ImageRepository(bandwidth_mb_per_s=1000))
+        for i in range(n_hosts):
+            veem.add_host(Host(env, f"h{i}", cpu_cores=4, memory_mb=8192,
+                               timings=timings))
+        return veem
+
+    # a two-site federation, second site half the size of the first
+    control.add_site("north", make_veem(args.hosts))
+    control.add_site("south", make_veem(max(1, args.hosts // 2)))
+    quota = TenantQuota(max_services=args.quota)
+    for i in range(args.tenants):
+        control.register_tenant(f"tenant-{i}", quota=quota,
+                                weight=1 + i % 2)
+
+    def service(name):
+        return (ManifestBuilder(name)
+                .component("app", image_mb=256, cpu=4, memory_mb=8192)
+                .build())
+
+    print(f"{args.tenants} tenant(s) × {args.services} service(s) against "
+          f"{args.hosts + max(1, args.hosts // 2)} hosts "
+          f"(quota: {args.quota} services/tenant)")
+    outcomes = []
+    for round_no in range(args.services):
+        for i in range(args.tenants):
+            name = f"tenant-{i}"
+            out = control.submit(name, service(f"{name}-svc{round_no}"))
+            outcomes.append(out)
+            if isinstance(out, Admitted):
+                print(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
+                      f"{name:<10} ADMITTED -> {out.site}")
+            elif isinstance(out, Queued):
+                print(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
+                      f"{name:<10} queued (depth {out.depth})")
+            else:
+                print(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
+                      f"{name:<10} REJECTED: {out.reason}")
+    env.run(until=1_000)
+
+    # drain: release the oldest actives in waves until everyone has run
+    while control.queue_depth > 0 or control.active_requests():
+        for request in sorted(control.active_requests(),
+                              key=lambda r: r.admitted_at or 0.0)[:3]:
+            control.release(request)
+        env.run(until=env.now + 200)
+
+    stats = control.stats()
+    print("\ncounters:")
+    for key in ("submitted", "admitted", "queued", "rejected", "retried",
+                "released"):
+        print(f"  {key:<10} {stats[key]}")
+    depth = control.series["queue.depth"]
+    print(f"peak queue depth: {depth.maximum():.0f}")
+    if "queue.wait_s" in control.series:
+        waits = [r.wait_time for r in control.requests.values()
+                 if r.wait_time]
+        if waits:
+            print(f"queue wait: mean {sum(waits) / len(waits):.1f}s, "
+                  f"max {max(waits):.1f}s over {len(waits)} queued "
+                  f"request(s)")
+    for name, row in stats["tenants"].items():
+        print(f"  {name:<10} services={row['services']} "
+              f"queued={row['queued']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,6 +302,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host-cpu", type=float, default=4.0)
     p.add_argument("--host-memory", type=float, default=8192.0)
     p.set_defaults(func=_cmd_capacity)
+
+    p = sub.add_parser("control-demo",
+                       help="multi-tenant control-plane demo (DESIGN §11)")
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--services", type=int, default=4,
+                   help="services submitted per tenant")
+    p.add_argument("--hosts", type=int, default=6,
+                   help="hosts at the larger site")
+    p.add_argument("--quota", type=int, default=3,
+                   help="max concurrent services per tenant")
+    p.set_defaults(func=_cmd_control_demo)
 
     return parser
 

@@ -198,3 +198,9 @@ class AdmissionController:
     @property
     def committed_plan(self) -> CapacityPlan:
         return plan_capacity(self.admitted, self.host)
+
+    @property
+    def headroom(self) -> int:
+        """Hosts still unreserved at the committed worst case — the ranking
+        key the control plane's federated site selection spreads load by."""
+        return self.pool_hosts - self.committed_plan.hosts_for_ceiling

@@ -20,8 +20,21 @@ class PlacementError(CloudError):
     """No host (or site) satisfies a deployment request's requirements."""
 
 
-class CapacityError(CloudError):
-    """A host cannot accommodate a reservation it was asked to make."""
+class CapacityError(PlacementError):
+    """The pool's *capacity* — not a placement constraint — blocks a request.
+
+    Raised when no host has enough free CPU/memory for a reservation
+    (VEEM submit and every scale path that ends in a submit), and by the
+    capacity planner/admission controller (:mod:`repro.cloud.capacity`)
+    when a workload cannot be guaranteed its worst case.
+
+    Deliberately a subclass of :class:`PlacementError`: code written against
+    the seed's loud contention failure (``except PlacementError``) keeps
+    working unchanged, while newer layers — in particular the multi-tenant
+    control plane (:mod:`repro.control`) — can distinguish *transient*
+    capacity exhaustion (queue, back off, retry once something undeploys)
+    from *permanent* constraint infeasibility (reject outright).
+    """
 
 
 class ImageError(CloudError):

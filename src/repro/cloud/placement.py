@@ -23,7 +23,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from .errors import PlacementError
+from .errors import CapacityError, PlacementError
 from .veeh import Host
 from .vm import DeploymentDescriptor
 
@@ -254,7 +254,29 @@ class Placer:
 
     def select(self, hosts: Sequence[Host],
                descriptor: DeploymentDescriptor) -> Host:
-        candidates = self.feasible(hosts, descriptor)
+        """Pick a host, distinguishing *why* selection fails.
+
+        No host with enough free CPU/memory → :class:`CapacityError` (the
+        pool is exhausted; a transient condition that clears when something
+        undeploys). Hosts fit but every one is excluded by a constraint →
+        plain :class:`PlacementError` (infeasible until the constraint set
+        changes). CapacityError subclasses PlacementError, so callers that
+        don't care about the distinction keep working.
+        """
+        fitting = [
+            h for h in hosts
+            if h.fits(descriptor.cpu, descriptor.memory_mb)
+        ]
+        if not fitting:
+            raise CapacityError(
+                f"no feasible host for {descriptor.name!r}: pool capacity "
+                f"exhausted (cpu={descriptor.cpu}, "
+                f"mem={descriptor.memory_mb}MB, {len(hosts)} host(s))"
+            )
+        candidates = [
+            h for h in fitting
+            if all(c.admits(h, descriptor, hosts) for c in self.constraints)
+        ]
         if not candidates:
             raise PlacementError(
                 f"no feasible host for {descriptor.name!r} "

@@ -102,7 +102,12 @@ class VEEM:
 
         Returns immediately with the new VM in PENDING state; callers wait on
         ``vm.on_running``. Placement happens synchronously so infeasible
-        requests fail fast with :class:`PlacementError`.
+        requests fail fast: :class:`CapacityError` when the site's capacity
+        is exhausted (transient — clears when something undeploys), plain
+        :class:`PlacementError` when a placement constraint excludes every
+        host. Every scale path that ends in a submit (elasticity actions,
+        ``ServiceLifecycleManager.scale_up``, federation routing) surfaces
+        the same typed errors.
         """
         vm_id = f"{self.name}-vm{next(self._vm_seq)}"
         vm = VirtualMachine(self.env, vm_id, descriptor)

@@ -1,0 +1,38 @@
+"""Multi-tenant provisioning control plane (DESIGN.md §11).
+
+The layer the paper leaves implicit between "a Service Provider" and "the
+site": a front door that takes manifest submissions from *named tenants*,
+runs guaranteed-capacity admission over the federated pool, queues what
+does not fit, drains the queue fairly (weighted round-robin with
+per-tenant quotas), and drives admitted deployments with retry-with-backoff
+instead of the seed's fail-loudly contention.
+"""
+
+from .backpressure import RetryPolicy
+from .plane import ControlledSite, ControlPlane
+from .requests import (
+    Admitted,
+    Outcome,
+    ProvisioningRequest,
+    Queued,
+    Rejected,
+    RequestState,
+)
+from .scheduler import FairScheduler
+from .tenants import Tenant, TenantQuota, TenantUsage
+
+__all__ = [
+    "Admitted",
+    "ControlledSite",
+    "ControlPlane",
+    "FairScheduler",
+    "Outcome",
+    "ProvisioningRequest",
+    "Queued",
+    "Rejected",
+    "RequestState",
+    "RetryPolicy",
+    "Tenant",
+    "TenantQuota",
+    "TenantUsage",
+]

@@ -1,0 +1,45 @@
+"""Backpressure knobs: bounded queue depth and retry-with-backoff.
+
+Two distinct pressure valves:
+
+* **Queue bound** — ``ControlPlane(max_queue_depth=N)`` turns the N+1-th
+  concurrently queued request into a typed :class:`~.requests.Rejected`
+  instead of letting the queue grow without limit (load shedding at the
+  front door).
+* **Retry policy** — an *admitted* request whose deployment trips a
+  transient infrastructure error (``CapacityError`` from a racing
+  reservation, a ``ScaleError``) is retried with exponential backoff
+  rather than failed outright; only after ``max_attempts`` does it become
+  a terminal rejection and give its reservation back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for transient deployment failures."""
+
+    max_attempts: int = 3
+    initial_backoff_s: float = 5.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.initial_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retrying after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.initial_backoff_s * self.multiplier ** (attempt - 1),
+                   self.max_backoff_s)

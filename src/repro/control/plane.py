@@ -1,0 +1,464 @@
+"""The multi-tenant provisioning control plane.
+
+The front door in front of :class:`~repro.core.service_manager.manager.
+ServiceManager`/:class:`~repro.cloud.veem.VEEM`: named tenants submit
+manifests to :meth:`ControlPlane.submit` and get a typed outcome back —
+:class:`~.requests.Admitted`, :class:`~.requests.Queued` or
+:class:`~.requests.Rejected` — instead of racing each other for hosts and
+failing loudly on contention (the seed behaviour, kept reachable in
+``tests/test_multi_service.py``).
+
+Pipeline per request:
+
+1. **Hard screens** — unknown-tenant, backpressure (bounded queue), and
+   *can-never-fit* checks (envelope exceeds the tenant's quota even against
+   zero usage, or exceeds every site's whole pool) reject immediately.
+2. **Admission** — reuses :func:`repro.cloud.capacity.demand_envelope` and
+   per-site :class:`~repro.cloud.capacity.AdmissionController`\\ s:
+   a request is admitted only if its *worst case* still fits the chosen
+   site's pool alongside everything already admitted there, and fits the
+   tenant's quota. Otherwise it queues.
+3. **Fair drain** — a weighted round-robin scheduler
+   (:class:`~.scheduler.FairScheduler`) dequeues across tenants as
+   capacity frees up (undeploys, retry-rejections); per-tenant FIFO order
+   is preserved and a blocked tenant never stalls the others.
+4. **Federated site selection** — each request is placed on the *best*
+   eligible member site (manifest ``avoid``/``require_trusted`` placements
+   respected, ``favour`` preferred, then greatest admission headroom) of a
+   :class:`repro.cloud.federation.Site`-shaped federation, not one fixed
+   VEEM.
+5. **Deployment drive with backpressure** — admitted requests are deployed
+   through the site's ServiceManager; transient infrastructure failures
+   (:class:`~repro.cloud.errors.CapacityError`, ``ScaleError``) are
+   retried with exponential backoff (:class:`~.backpressure.RetryPolicy`)
+   before a terminal rejection returns the reservation.
+
+Observability: counters (``admitted``/``queued``/``rejected``/``retried``/
+``released``), a ``queue.depth`` step series plus per-admission
+``queue.wait_s`` on a :class:`~repro.sim.SeriesRecorder`, and structured
+``control``-source records on the DES trace for every transition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..cloud.capacity import (
+    AdmissionController,
+    HostType,
+    demand_envelope,
+    plan_capacity,
+)
+from ..cloud.errors import CapacityError, PlacementError
+from ..cloud.federation import Site
+from ..cloud.veem import VEEM
+from ..core.manifest.model import ServiceManifest
+from ..core.service_manager.lifecycle import ScaleError
+from ..core.service_manager.manager import ManagedService, ServiceManager
+from ..sim import Environment, Process, SeriesRecorder, TraceLog
+from .backpressure import RetryPolicy
+from .requests import (
+    Admitted,
+    Outcome,
+    ProvisioningRequest,
+    Queued,
+    Rejected,
+    RequestState,
+)
+from .scheduler import FairScheduler
+from .tenants import Tenant, TenantQuota
+
+__all__ = ["ControlledSite", "ControlPlane"]
+
+#: Infrastructure errors the drive loop treats as transient and retries.
+TRANSIENT_ERRORS = (CapacityError, ScaleError)
+
+
+@dataclass
+class ControlledSite:
+    """One federation member under control-plane management: the site
+    identity, its Service Manager, and its guaranteed-capacity admission
+    controller."""
+
+    site: Site
+    manager: ServiceManager
+    admission: AdmissionController
+
+    @property
+    def name(self) -> str:
+        return self.site.name
+
+    @property
+    def headroom(self) -> int:
+        return self.admission.headroom
+
+
+class ControlPlane:
+    """Front door mediating many tenants over a federated pool."""
+
+    def __init__(self, env: Environment, *,
+                 trace: Optional[TraceLog] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 max_queue_depth: Optional[int] = None):
+        self.env = env
+        self.trace = trace if trace is not None else TraceLog(env)
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: queued requests beyond this are shed with a typed rejection;
+        #: None = unbounded queue
+        self.max_queue_depth = max_queue_depth
+        self.sites: list[ControlledSite] = []
+        self.tenants: dict[str, Tenant] = {}
+        self.scheduler = FairScheduler()
+        self.requests: dict[str, ProvisioningRequest] = {}
+        self.counters = {"submitted": 0, "admitted": 0, "queued": 0,
+                         "rejected": 0, "retried": 0, "released": 0}
+        self.series = SeriesRecorder(env)
+        self.series.record("queue.depth", 0)
+        self._seq = itertools.count(1)
+        self._by_service: dict[str, ProvisioningRequest] = {}
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def add_site(self, site: Union[str, Site], veem: Optional[VEEM] = None, *,
+                 attributes: Optional[dict] = None,
+                 pool_hosts: Optional[int] = None,
+                 host_type: Optional[HostType] = None,
+                 manager: Optional[ServiceManager] = None,
+                 network=None) -> ControlledSite:
+        """Register a federation member.
+
+        ``pool_hosts`` defaults to the VEEM's host count and ``host_type``
+        to its first host's shape — i.e. the admission controller guarantees
+        exactly the physical pool unless told to hold some back.
+        """
+        if isinstance(site, str):
+            if veem is None:
+                raise ValueError("add_site(name, ...) needs a veem")
+            site = Site(site, veem, attributes or {})
+        if any(s.name == site.name for s in self.sites):
+            raise ValueError(f"duplicate site name {site.name!r}")
+        veem = site.veem
+        if pool_hosts is None:
+            pool_hosts = len(veem.hosts)
+        if host_type is None:
+            host_type = (HostType(veem.hosts[0].cpu_cores,
+                                  veem.hosts[0].memory_mb)
+                         if veem.hosts else HostType())
+        if manager is None:
+            manager = ServiceManager(self.env, veem, trace=self.trace,
+                                     network=network)
+        controlled = ControlledSite(
+            site=site, manager=manager,
+            admission=AdmissionController(pool_hosts, host_type),
+        )
+        manager.on_undeploy.append(
+            lambda service, termination, cs=controlled:
+                self._on_undeploy(cs, service, termination))
+        self.sites.append(controlled)
+        return controlled
+
+    def register_tenant(self, name: str, *,
+                        quota: Optional[TenantQuota] = None,
+                        weight: int = 1) -> Tenant:
+        if name in self.tenants:
+            raise ValueError(f"duplicate tenant {name!r}")
+        tenant = Tenant(name, quota=quota or TenantQuota(), weight=weight)
+        self.tenants[name] = tenant
+        self.scheduler.add_tenant(name, weight)
+        return tenant
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, manifest: ServiceManifest, *,
+               service_id: Optional[str] = None,
+               drivers: Optional[dict] = None) -> Outcome:
+        """Submit one manifest on behalf of ``tenant``.
+
+        Returns a typed outcome immediately; a :class:`Queued` request's
+        later fate fires its ``decided`` event and shows up on the trace.
+        """
+        owner = self.tenants.get(tenant)
+        if owner is None:
+            raise KeyError(f"unknown tenant {tenant!r}; register_tenant first")
+        envelope = demand_envelope(manifest)
+        request = ProvisioningRequest(
+            request_id=f"req-{next(self._seq)}",
+            tenant=tenant, manifest=manifest, envelope=envelope,
+            submitted_at=self.env.now,
+            service_id=service_id or (f"{tenant}-{manifest.service_name}-"
+                                      f"{len(self.requests) + 1}"),
+            decided=self.env.event(), drivers=drivers,
+        )
+        self.requests[request.request_id] = request
+        self.counters["submitted"] += 1
+        self.trace.emit("control", "request.submitted",
+                        request=request.request_id, tenant=tenant,
+                        service=request.service_id,
+                        service_name=manifest.service_name)
+
+        # Hard screens: things that will never change by waiting.
+        if not owner.quota.admits_alone(envelope):
+            return self._reject(request, "quota: worst case exceeds the "
+                                         "tenant quota outright")
+        if not self._fits_somewhere_empty(request):
+            return self._reject(request, "capacity: worst case exceeds "
+                                         "every eligible site's whole pool")
+        if (self.max_queue_depth is not None
+                and self.scheduler.depth >= self.max_queue_depth):
+            return self._reject(
+                request,
+                f"backpressure: queue depth {self.scheduler.depth} at the "
+                f"max_queue_depth={self.max_queue_depth} bound")
+
+        position = self.scheduler.push(request)
+        self._record_depth()
+        self._pump()
+        if request.state is not RequestState.QUEUED:
+            # Drained straight through: admitted in the same instant.
+            return Admitted(request, request.site)
+        self.counters["queued"] += 1
+        depth = self.scheduler.depth
+        self.trace.emit("control", "request.queued",
+                        request=request.request_id, tenant=tenant,
+                        position=position, depth=depth)
+        return Queued(request, position=position, depth=depth)
+
+    def release(self, request: ProvisioningRequest) -> Process:
+        """Undeploy an ACTIVE request's service; capacity frees (and the
+        queue re-drains) once termination completes."""
+        if request.state is not RequestState.ACTIVE or request.service is None:
+            raise ValueError(
+                f"{request.request_id} is {request.state.value}, not active")
+        site = self._site_named(request.site)
+        return site.manager.undeploy(request.service)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self.scheduler.depth
+
+    def pending(self, tenant: Optional[str] = None
+                ) -> list[ProvisioningRequest]:
+        return self.scheduler.pending(tenant)
+
+    def active_requests(self, tenant: Optional[str] = None
+                        ) -> list[ProvisioningRequest]:
+        return [r for r in self.requests.values()
+                if r.state is RequestState.ACTIVE
+                and (tenant is None or r.tenant == tenant)]
+
+    def tenant_services(self, tenant: str) -> list[ManagedService]:
+        """The tenant's live services across all sites (accounting
+        attribution: each carries a tenant-tagged ServiceAccountant)."""
+        return [r.service for r in self.active_requests(tenant)
+                if r.service is not None]
+
+    def stats(self) -> dict:
+        """Counters plus the live queue/commitment picture."""
+        out = dict(self.counters)
+        out["queue_depth"] = self.scheduler.depth
+        out["sites"] = {
+            s.name: {"pool_hosts": s.admission.pool_hosts,
+                     "headroom": s.headroom,
+                     "admitted_services": len(s.admission.admitted)}
+            for s in self.sites
+        }
+        out["tenants"] = {
+            name: {"services": t.usage.services,
+                   "instances": t.usage.instances,
+                   "queued": self.scheduler.depth_of(name)}
+            for name, t in self.tenants.items()
+        }
+        return out
+
+    # ------------------------------------------------------------------
+    # Admission machinery
+    # ------------------------------------------------------------------
+    def _site_named(self, name: str) -> ControlledSite:
+        for s in self.sites:
+            if s.name == name:
+                return s
+        raise KeyError(f"unknown site {name!r}")
+
+    def _eligible(self, site: ControlledSite,
+                  manifest: ServiceManifest) -> bool:
+        """Manifest-level MDL5 administrative screening: a site any
+        placement avoids, or an untrusted site when trust is required,
+        is out for the whole service."""
+        for placement in manifest.placement.site_placements:
+            if site.name in placement.avoid_sites:
+                return False
+            if placement.require_trusted and not site.site.trusted:
+                return False
+        return True
+
+    def _preference(self, site: ControlledSite,
+                    manifest: ServiceManifest) -> int:
+        """0 if any placement favours the site (sorts first), else 1."""
+        for placement in manifest.placement.site_placements:
+            if site.name in placement.favour_sites:
+                return 0
+        return 1
+
+    def _fits_somewhere_empty(self, request: ProvisioningRequest) -> bool:
+        """Could the request fit *some* eligible site with nothing else
+        admitted? False means waiting can never help."""
+        for site in self.sites:
+            if not self._eligible(site, request.manifest):
+                continue
+            try:
+                plan = plan_capacity([request.manifest], site.admission.host)
+            except CapacityError:
+                continue    # an instance exceeds this site's host type
+            if plan.hosts_for_ceiling <= site.admission.pool_hosts:
+                return True
+        return False
+
+    def _best_site(self, request: ProvisioningRequest
+                   ) -> Optional[ControlledSite]:
+        """Federated selection: eligible sites that can admit the worst
+        case right now, favoured first, then greatest headroom."""
+        candidates = [
+            site for site in self.sites
+            if self._eligible(site, request.manifest)
+            and site.admission.can_admit(request.manifest)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (
+            self._preference(s, request.manifest),
+            -s.headroom,
+            self.sites.index(s),
+        ))
+
+    def _try_admit(self, request: ProvisioningRequest) -> bool:
+        """The scheduler's admission callback: quota, then site capacity;
+        on success reserve both and start driving the deployment."""
+        tenant = self.tenants[request.tenant]
+        if tenant.quota.violation(tenant.usage, request.envelope) is not None:
+            return False
+        site = self._best_site(request)
+        if site is None:
+            return False
+        site.admission.admit(request.manifest)
+        tenant.usage.add(request.envelope)
+        request.state = RequestState.DEPLOYING
+        request.site = site.name
+        request.admitted_at = self.env.now
+        self.counters["admitted"] += 1
+        waited = request.wait_time
+        self.series.record("queue.wait_s", waited)
+        self.trace.emit("control", "request.admitted",
+                        request=request.request_id, tenant=request.tenant,
+                        site=site.name, waited=waited,
+                        queue_depth=self.scheduler.depth)
+        request._decide()
+        self.env.process(self._drive(request, site),
+                         name=f"drive:{request.request_id}")
+        return True
+
+    def _pump(self) -> int:
+        """Drain the queue as far as current capacity/quotas allow."""
+        admitted = self.scheduler.drain(self._try_admit)
+        if admitted:
+            self._record_depth()
+        return admitted
+
+    def _record_depth(self) -> None:
+        self.series.record("queue.depth", self.scheduler.depth)
+
+    def _reject(self, request: ProvisioningRequest, reason: str) -> Rejected:
+        request.state = RequestState.REJECTED
+        request.reason = reason
+        self.counters["rejected"] += 1
+        self.trace.emit("control", "request.rejected",
+                        request=request.request_id, tenant=request.tenant,
+                        reason=reason)
+        request._decide()
+        return Rejected(request, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Deployment drive (admitted → active, with retry-with-backoff)
+    # ------------------------------------------------------------------
+    def _drive(self, request: ProvisioningRequest, site: ControlledSite):
+        """Process: deploy, retrying transient infrastructure failures with
+        exponential backoff; exhausting the policy returns the reservation
+        and terminally rejects."""
+        tenant = self.tenants[request.tenant]
+        while True:
+            request.attempts += 1
+            failure: Optional[Exception] = None
+            service: Optional[ManagedService] = None
+            try:
+                service = site.manager.deploy(
+                    request.manifest, service_id=request.service_id,
+                    tenant=request.tenant, drivers=request.drivers)
+                request.service = service
+                yield service.deployment
+            except TRANSIENT_ERRORS as exc:
+                failure = exc
+                if service is not None:
+                    # Tear down any partially-deployed instances before the
+                    # retry; pop the tracking entry first so the undeploy
+                    # hook does not mistake this for a capacity release.
+                    self._by_service.pop(request.service_id, None)
+                    request.service = None
+                    yield site.manager.undeploy(service)
+            if failure is None:
+                request.state = RequestState.ACTIVE
+                self._by_service[request.service_id] = request
+                self.trace.emit("control", "request.active",
+                                request=request.request_id,
+                                tenant=request.tenant, site=site.name,
+                                service=request.service_id,
+                                attempts=request.attempts)
+                return
+            if request.attempts >= self.retry.max_attempts:
+                site.admission.release(request.manifest)
+                tenant.usage.remove(request.envelope)
+                self._reject(request, f"deploy failed after "
+                                      f"{request.attempts} attempt(s): "
+                                      f"{failure}")
+                self._pump()    # the reservation just freed — re-drain
+                return
+            delay = self.retry.backoff(request.attempts)
+            self.counters["retried"] += 1
+            self.trace.emit("control", "request.retry",
+                            request=request.request_id,
+                            tenant=request.tenant, attempt=request.attempts,
+                            delay_s=delay, error=str(failure))
+            yield self.env.timeout(delay)
+
+    # ------------------------------------------------------------------
+    # Capacity release (wired into ServiceManager.on_undeploy)
+    # ------------------------------------------------------------------
+    def _on_undeploy(self, site: ControlledSite, service: ManagedService,
+                     termination: Process) -> None:
+        """Runs for *every* undeploy on a managed site — control-plane
+        initiated or direct — so capacity accounting cannot be bypassed."""
+        request = self._by_service.pop(service.service_id, None)
+        if request is None:
+            return      # not a control-plane service (or a retry teardown)
+        self.env.process(self._finish_release(request, site, termination),
+                         name=f"release:{request.request_id}")
+
+    def _finish_release(self, request: ProvisioningRequest,
+                        site: ControlledSite, termination: Process):
+        yield termination
+        site.admission.release(request.manifest)
+        self.tenants[request.tenant].usage.remove(request.envelope)
+        request.state = RequestState.RELEASED
+        request.released_at = self.env.now
+        request.service = None
+        self.counters["released"] += 1
+        self.trace.emit("control", "request.released",
+                        request=request.request_id, tenant=request.tenant,
+                        site=site.name,
+                        held_s=self.env.now - (request.admitted_at or 0.0))
+        self._pump()    # capacity freed: drain the queue

@@ -1,0 +1,111 @@
+"""Tenants, quotas and per-tenant committed usage.
+
+The paper's Service Manager answers to *one* Service Provider at a time
+(§5.1); a provider serving many customers needs the thing Dearle et al. and
+Buyya et al. (PAPERS.md) both call for: named tenants whose demands on the
+shared pool are bounded and arbitrated. A :class:`Tenant` couples a name
+with a scheduling ``weight`` (its share of the drain cycle) and a
+:class:`TenantQuota` — hard ceilings on what the tenant may hold
+*concurrently*, measured against the worst case of every admitted manifest
+(the same guaranteed-capacity stance as
+:class:`repro.cloud.capacity.AdmissionController`).
+
+Usage is committed at admission time from the manifest's
+:class:`~repro.cloud.capacity.DemandEnvelope` ceiling and released when the
+service undeploys, so a quota can never be dodged by a service that merely
+*hasn't scaled up yet*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cloud.capacity import DemandEnvelope
+
+__all__ = ["TenantQuota", "TenantUsage", "Tenant"]
+
+
+def _envelope_totals(envelope: DemandEnvelope) -> tuple[int, float, float]:
+    """(instances, cpu, memory_mb) of the envelope's ceiling."""
+    ceiling = envelope.ceiling
+    cpu, memory_mb = envelope.totals("ceiling")
+    return len(ceiling), cpu, memory_mb
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Hard per-tenant ceilings; ``None`` means unlimited on that axis."""
+
+    max_services: Optional[int] = None
+    max_instances: Optional[int] = None
+    max_cpu: Optional[float] = None
+    max_memory_mb: Optional[float] = None
+
+    def violation(self, usage: "TenantUsage",
+                  envelope: DemandEnvelope) -> Optional[str]:
+        """Why admitting ``envelope`` on top of ``usage`` would breach the
+        quota, or ``None`` if it fits."""
+        instances, cpu, memory_mb = _envelope_totals(envelope)
+        if (self.max_services is not None
+                and usage.services + 1 > self.max_services):
+            return (f"services {usage.services + 1} > "
+                    f"quota {self.max_services}")
+        if (self.max_instances is not None
+                and usage.instances + instances > self.max_instances):
+            return (f"instances {usage.instances + instances} > "
+                    f"quota {self.max_instances}")
+        if self.max_cpu is not None and usage.cpu + cpu > self.max_cpu + 1e-9:
+            return f"cpu {usage.cpu + cpu:g} > quota {self.max_cpu:g}"
+        if (self.max_memory_mb is not None
+                and usage.memory_mb + memory_mb > self.max_memory_mb + 1e-9):
+            return (f"memory {usage.memory_mb + memory_mb:g}MB > "
+                    f"quota {self.max_memory_mb:g}MB")
+        return None
+
+    def admits_alone(self, envelope: DemandEnvelope) -> bool:
+        """Could this envelope *ever* fit the quota (i.e. against zero
+        usage)? False means the request is permanently rejectable."""
+        return self.violation(TenantUsage(), envelope) is None
+
+
+@dataclass
+class TenantUsage:
+    """Worst-case resources a tenant currently holds admitted."""
+
+    services: int = 0
+    instances: int = 0
+    cpu: float = 0.0
+    memory_mb: float = 0.0
+
+    def add(self, envelope: DemandEnvelope) -> None:
+        instances, cpu, memory_mb = _envelope_totals(envelope)
+        self.services += 1
+        self.instances += instances
+        self.cpu += cpu
+        self.memory_mb += memory_mb
+
+    def remove(self, envelope: DemandEnvelope) -> None:
+        instances, cpu, memory_mb = _envelope_totals(envelope)
+        self.services -= 1
+        self.instances -= instances
+        self.cpu -= cpu
+        self.memory_mb -= memory_mb
+        if self.services < 0 or self.instances < 0:
+            raise ValueError("tenant usage went negative: release without "
+                             "matching admission")
+
+
+@dataclass
+class Tenant:
+    """One named customer of the control plane."""
+
+    name: str
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    #: weighted-round-robin share: admissions allowed per drain cycle
+    weight: int = 1
+    usage: TenantUsage = field(default_factory=TenantUsage)
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise ValueError("tenant weight must be >= 1")

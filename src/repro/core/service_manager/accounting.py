@@ -32,9 +32,13 @@ class UsageRecord:
 class ServiceAccountant:
     """Tracks per-component instance counts as step-function time series."""
 
-    def __init__(self, env: Environment, service_id: str):
+    def __init__(self, env: Environment, service_id: str, *,
+                 tenant: Optional[str] = None):
         self.env = env
         self.service_id = service_id
+        #: owning tenant for multi-tenant attribution (None = unattributed,
+        #: the single-tenant seed behaviour)
+        self.tenant = tenant
         #: all series are anchored here so that usage integrals over windows
         #: preceding a component's first deployment correctly read zero —
         #: a series created lazily *at* the first deployment would have its
@@ -91,6 +95,11 @@ class ServiceAccountant:
             instance_seconds=instance_seconds, mean_instances=mean,
             peak_instances=peak,
         )
+
+    def usage_all(self, start: float,
+                  end: Optional[float] = None) -> dict[str, UsageRecord]:
+        """Per-component usage over one window (tenant reporting helper)."""
+        return {c: self.usage(c, start, end) for c in self.components()}
 
     def components(self) -> list[str]:
         return sorted(self._series)

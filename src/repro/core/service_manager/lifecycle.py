@@ -119,7 +119,8 @@ class ServiceLifecycleManager:
 
     def __init__(self, env: Environment, parsed: ParsedService, veem: VEEM, *,
                  trace: Optional[TraceLog] = None,
-                 auto_heal: bool = True):
+                 auto_heal: bool = True,
+                 tenant: Optional[str] = None):
         self.env = env
         self.parsed = parsed
         self.veem = veem
@@ -129,7 +130,11 @@ class ServiceLifecycleManager:
         #: or components become unavailable" (§1)
         self.auto_heal = auto_heal
         self._terminating = False
-        self.accountant = ServiceAccountant(env, parsed.service_id)
+        #: owning tenant, threaded into accounting so multi-tenant usage can
+        #: be attributed and billed per tenant
+        self.tenant = tenant
+        self.accountant = ServiceAccountant(env, parsed.service_id,
+                                            tenant=tenant)
         self.components: dict[str, ManagedComponent] = {}
         self.descriptors: list[DeploymentDescriptor] = []
         self.deployed_at: Optional[float] = None

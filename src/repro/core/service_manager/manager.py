@@ -9,11 +9,11 @@ monitoring network. Exposes the Service Provider-facing deployment interface
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from ...cloud.veem import VEEM
 from ...monitoring.distribution import DistributionFramework, MulticastChannel
-from ...sim import Environment, TraceLog
+from ...sim import Environment, Process, TraceLog
 from ..constraints.deployment import deployment_suite
 from ..constraints.framework import CheckReport
 from ..manifest.elasticity import ElasticityAction, ElasticityRule, VEEMOperation
@@ -33,6 +33,12 @@ class ManagedService:
     lifecycle: ServiceLifecycleManager
     interpreter: RuleInterpreter
     deployment: object = None  # Process; join to await full deployment
+    #: owning tenant (multi-tenant control plane attribution); None for
+    #: services deployed directly against the manager
+    tenant: Optional[str] = None
+    #: the termination process once undeploy() has been called — the marker
+    #: that makes undeploy idempotent
+    termination: Optional[Process] = None
     _suite: object = field(default=None, repr=False)
 
     @property
@@ -61,6 +67,11 @@ class ServiceManager:
         self.parser = ManifestParser()
         self.services: dict[str, ManagedService] = {}
         self._eval_period_s = eval_period_s
+        #: called with (service, termination_process) when undeploy begins —
+        #: the control plane hooks in here to free admission capacity once
+        #: the termination completes, whichever layer initiated the undeploy
+        self.on_undeploy: list[
+            Callable[[ManagedService, Process], None]] = []
 
     # ------------------------------------------------------------------
     # Deployment interface (§5.1.1)
@@ -68,18 +79,20 @@ class ServiceManager:
     def deploy(self, manifest: Union[str, ServiceManifest], *,
                service_id: Optional[str] = None,
                drivers: Optional[dict[str, ComponentDriver]] = None,
-               start_rules: bool = True) -> ManagedService:
+               start_rules: bool = True,
+               tenant: Optional[str] = None) -> ManagedService:
         """Steps 1–7: parse, install rules, set up images, deploy VEEs.
 
         Returns immediately with the deployment running as a process (join
         ``service.deployment`` to await step-7 completion). ``drivers`` maps
-        system ids to application-level component drivers.
+        system ids to application-level component drivers. ``tenant`` tags
+        the service (and its usage accounting) with the submitting tenant.
         """
         # Step 1: parse + validate.
         parsed = self.parser.parse(manifest, service_id=service_id)
         # Step 2: deployment command to the lifecycle manager.
         lifecycle = ServiceLifecycleManager(self.env, parsed, self.veem,
-                                            trace=self.trace)
+                                            trace=self.trace, tenant=tenant)
         for system_id, driver in (drivers or {}).items():
             lifecycle.use_driver(system_id, driver)
         # Step 3: install the elasticity rules in the rule engine.
@@ -101,19 +114,31 @@ class ServiceManager:
         )
         service = ManagedService(
             parsed=parsed, lifecycle=lifecycle, interpreter=interpreter,
-            deployment=deployment, _suite=deployment_suite(),
+            deployment=deployment, tenant=tenant, _suite=deployment_suite(),
         )
         self.services[parsed.service_id] = service
         return service
 
-    def undeploy(self, service: ManagedService):
-        """Terminate a service; returns the termination process."""
+    def undeploy(self, service: ManagedService) -> Process:
+        """Terminate a service; returns the termination process.
+
+        Idempotent: the first call stops and detaches the rule interpreter
+        (its monitoring subscriptions stay released) and starts termination;
+        every later call is a no-op that returns the *same* termination
+        process, so callers can join it without double-terminating.
+        """
+        if service.termination is not None:
+            return service.termination
         service.interpreter.stop()
         service.interpreter.detach()
-        return self.env.process(
+        termination = self.env.process(
             service.lifecycle.terminate_service(),
             name=f"terminate:{service.service_id}",
         )
+        service.termination = termination
+        for hook in self.on_undeploy:
+            hook(service, termination)
+        return termination
 
     # ------------------------------------------------------------------
     # Elasticity action execution (§5.1.2 steps 3–5)

@@ -106,3 +106,16 @@ def test_capacity_admission_ok(xml_path, capsys):
 def test_capacity_admission_refused(xml_path, capsys):
     assert main(["capacity", xml_path, xml_path, "--hosts", "6"]) == 1
     assert "REFUSED" in capsys.readouterr().out
+
+
+def test_control_demo(capsys):
+    assert main(["control-demo", "--tenants", "3", "--services", "3",
+                 "--hosts", "3", "--quota", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ADMITTED -> north" in out
+    assert "queued (depth" in out
+    assert "peak queue depth:" in out
+    assert "rejected   0" in out
+    # the demo drains completely: everything admitted is later released
+    assert "submitted  9" in out
+    assert "released   9" in out

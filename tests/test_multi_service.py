@@ -125,7 +125,13 @@ def test_constraints_scoped_per_service():
 
 def test_shared_capacity_contention_fails_loudly():
     """Tenants share the physical pool: when it is exhausted, scale-ups are
-    refused (logged), not silently dropped."""
+    refused (logged), not silently dropped.
+
+    Reference behaviour: the seed surfaced contention as a loud
+    ``PlacementError``; that contract is preserved (``CapacityError`` is a
+    subclass), so code written against the old failure mode keeps working.
+    The queue-and-drain alternative lives in :mod:`repro.control`.
+    """
     env = Environment()
     sm = make_sm(env, n_hosts=1)
     # Shrink the host so two tenants plus a little headroom fill it.
@@ -139,3 +145,29 @@ def test_shared_capacity_contention_fails_loudly():
     from repro.cloud import PlacementError
     with pytest.raises(PlacementError):
         tenant_b.lifecycle.scale_up("web")
+
+
+def test_shared_capacity_contention_is_typed_capacity_error():
+    """Capacity exhaustion (as opposed to constraint infeasibility) is the
+    typed, transient ``CapacityError`` on every submit/scale path — the
+    signal the control plane queues and retries on."""
+    from repro.cloud import CapacityError, PlacementError
+
+    assert issubclass(CapacityError, PlacementError)
+    env = Environment()
+    sm = make_sm(env, n_hosts=1)
+    sm.veem.hosts[0].cpu_cores = 3.0
+    sm.veem.hosts[0].memory_mb = 3 * 1024.0
+    tenant_a = sm.deploy(shop_manifest(), service_id="shop-A")
+    tenant_b = sm.deploy(shop_manifest(), service_id="shop-B")
+    env.run(until=env.all_of([tenant_a.deployment, tenant_b.deployment]))
+    tenant_a.lifecycle.scale_up("web")
+    env.run(until=env.now + 30)
+    # Scale path surfaces the typed error ...
+    with pytest.raises(CapacityError, match="capacity"):
+        tenant_b.lifecycle.scale_up("web")
+    # ... and so does a raw VEEM submit of the same descriptor shape.
+    descriptor = tenant_b.parsed.descriptor_for(
+        tenant_b.parsed.manifest.system("web"), instance=9)
+    with pytest.raises(CapacityError):
+        sm.veem.submit(descriptor)

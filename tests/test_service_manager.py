@@ -391,6 +391,52 @@ def test_undeploy_releases_monitoring_subscription():
     assert service.interpreter.store.notifications == before
 
 
+def test_undeploy_is_idempotent():
+    """A second undeploy is a no-op returning the same termination process
+    — no double-termination, subscriptions stay released."""
+    env = Environment()
+    veem = make_veem(env)
+    sm = ServiceManager(env, veem)
+    service = sm.deploy(web_manifest())
+    env.run(until=service.deployment)
+    first = sm.undeploy(service)
+    again = sm.undeploy(service)
+    assert again is first
+    env.run(until=first)
+    assert service.instance_count("web") == 0
+    assert sm.network.subscription_count == 0
+    # still idempotent after termination has completed
+    assert sm.undeploy(service) is first
+    assert service.instance_count("web") == 0
+
+
+def test_undeploy_hooks_fire_once_with_termination():
+    env = Environment()
+    veem = make_veem(env)
+    sm = ServiceManager(env, veem)
+    service = sm.deploy(web_manifest())
+    env.run(until=service.deployment)
+    seen = []
+    sm.on_undeploy.append(lambda svc, term: seen.append((svc, term)))
+    termination = sm.undeploy(service)
+    sm.undeploy(service)        # repeat call must not re-fire hooks
+    assert seen == [(service, termination)]
+
+
+def test_deploy_attributes_tenant_through_accounting():
+    env = Environment()
+    veem = make_veem(env)
+    sm = ServiceManager(env, veem)
+    service = sm.deploy(web_manifest(), tenant="acme")
+    env.run(until=service.deployment)
+    assert service.tenant == "acme"
+    assert service.lifecycle.accountant.tenant == "acme"
+    # direct deploys stay unattributed
+    other = sm.deploy(web_manifest())
+    env.run(until=other.deployment)
+    assert other.tenant is None and other.lifecycle.accountant.tenant is None
+
+
 def test_accounting_tracks_instances():
     env = Environment()
     veem = make_veem(env)
