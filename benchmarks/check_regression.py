@@ -33,6 +33,7 @@ HEADLINE = (
     "test_probe_emission_throughput",
     "test_codec_header_peek",
     "test_control_plane_churn",
+    "test_obs_overhead",
 )
 
 #: Recorded in the baseline for context (e.g. the linear-scan routing mode
@@ -81,6 +82,11 @@ def main(argv):
     for name in HEADLINE:
         if name not in current:
             print(f"MISSING  {name}: not in {argv[0]}")
+            failed = True
+            continue
+        if name not in baseline:
+            print(f"NO-BASELINE {name}: add its median to "
+                  f"{BASELINE_PATH.name}")
             failed = True
             continue
         base, now = baseline[name], current[name]

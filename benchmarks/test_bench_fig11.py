@@ -11,8 +11,6 @@ as text charts, and assert the qualitative features the paper calls out:
   "a complete deallocation as these jobs complete".
 """
 
-import pytest
-
 from repro.experiments import extract_series, render_run
 
 

@@ -7,8 +7,6 @@ and rule-engine passes — the operations whose cost bounds how large a
 simulated cloud the harness can drive.
 """
 
-import pytest
-
 from repro.core.manifest import parse_expression
 from repro.monitoring import (
     AttributeType,
@@ -164,6 +162,27 @@ def test_probe_emission_throughput(benchmark):
 
     benchmark(run)
     assert net.packets_published >= 100
+
+
+def test_obs_overhead(benchmark):
+    """Cost of the observability layer itself: span open → ambient emit →
+    close, plus registry counter/histogram updates, ×500. Gated so the
+    tracing machinery stays cheap enough to leave on in every run."""
+    from repro.sim import TraceLog
+
+    def run():
+        env = Environment()
+        trace = TraceLog(env)
+        counter = env.metrics.counter("bench.obs.events")
+        hist = env.metrics.histogram("bench.obs.span_s")
+        for i in range(500):
+            with trace.span_scope("bench", "op", i=i) as span:
+                trace.emit("bench", "tick")
+                counter.inc()
+            hist.observe(span.duration)
+        return counter.value
+
+    assert benchmark(run) == 500
 
 
 def test_dht_put_get(benchmark):

@@ -24,7 +24,13 @@ Commands
 ``control-demo [--tenants N] [--services N] [--hosts N]``
     Run the multi-tenant control-plane demo: tenants burst-submit services
     against a two-site federation, the plane admits what fits, queues the
-    rest fairly, and drains the queue as services are released.
+    rest fairly, and drains the queue as services are released. A second
+    phase deploys an elastic service and shows the causal span chain from
+    a KPI publication to the VEE it caused, plus the time-constraint audit.
+``obs-report [--chrome FILE] [--jsonl FILE]``
+    Run the same scenario and print the observability report: the span
+    tree, a Prometheus-style metrics dump, and the §4.2.3 time-constraint
+    audit; optionally export Chrome trace-event / JSONL files.
 """
 
 from __future__ import annotations
@@ -176,54 +182,61 @@ def _cmd_capacity(args) -> int:
     return 0
 
 
-def _cmd_control_demo(args) -> int:
+def _build_demo_plane(env, trace, args):
+    """A two-site federation sharing one trace log (causal chains cross
+    the control plane / VEEM boundary, so every layer must write to the
+    same log)."""
     from .cloud import Host, HypervisorTimings, ImageRepository, VEEM
-    from .control import Admitted, ControlPlane, Queued, TenantQuota
-    from .core.manifest import ManifestBuilder
-    from .sim import Environment
+    from .control import ControlPlane, TenantQuota
 
-    env = Environment()
-    control = ControlPlane(env)
+    control = ControlPlane(env, trace=trace)
     timings = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2)
 
-    def make_veem(n_hosts):
-        veem = VEEM(env, repository=ImageRepository(bandwidth_mb_per_s=1000))
+    def make_veem(site_name, n_hosts):
+        veem = VEEM(env, name=site_name, trace=trace,
+                    repository=ImageRepository(bandwidth_mb_per_s=1000))
         for i in range(n_hosts):
-            veem.add_host(Host(env, f"h{i}", cpu_cores=4, memory_mb=8192,
-                               timings=timings))
+            veem.add_host(Host(env, f"{site_name}-h{i}", cpu_cores=4,
+                               memory_mb=8192, timings=timings))
         return veem
 
     # a two-site federation, second site half the size of the first
-    control.add_site("north", make_veem(args.hosts))
-    control.add_site("south", make_veem(max(1, args.hosts // 2)))
+    control.add_site("north", make_veem("north", args.hosts))
+    control.add_site("south", make_veem("south", max(1, args.hosts // 2)))
     quota = TenantQuota(max_services=args.quota)
     for i in range(args.tenants):
         control.register_tenant(f"tenant-{i}", quota=quota,
                                 weight=1 + i % 2)
+    return control
+
+
+def _demo_churn_phase(env, control, args, emit) -> None:
+    """Phase 1: tenants burst-submit, the plane admits/queues, then the
+    demo drains everything by releasing actives in waves."""
+    from .control import Admitted, Queued
+    from .core.manifest import ManifestBuilder
 
     def service(name):
         return (ManifestBuilder(name)
                 .component("app", image_mb=256, cpu=4, memory_mb=8192)
                 .build())
 
-    print(f"{args.tenants} tenant(s) × {args.services} service(s) against "
-          f"{args.hosts + max(1, args.hosts // 2)} hosts "
-          f"(quota: {args.quota} services/tenant)")
-    outcomes = []
+    emit(f"{args.tenants} tenant(s) × {args.services} service(s) against "
+         f"{args.hosts + max(1, args.hosts // 2)} hosts "
+         f"(quota: {args.quota} services/tenant)")
     for round_no in range(args.services):
         for i in range(args.tenants):
             name = f"tenant-{i}"
             out = control.submit(name, service(f"{name}-svc{round_no}"))
-            outcomes.append(out)
             if isinstance(out, Admitted):
-                print(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
-                      f"{name:<10} ADMITTED -> {out.site}")
+                emit(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
+                     f"{name:<10} ADMITTED -> {out.site}")
             elif isinstance(out, Queued):
-                print(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
-                      f"{name:<10} queued (depth {out.depth})")
+                emit(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
+                     f"{name:<10} queued (depth {out.depth})")
             else:
-                print(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
-                      f"{name:<10} REJECTED: {out.reason}")
+                emit(f"  t={env.now:6.1f}  {out.request.request_id:<8} "
+                     f"{name:<10} REJECTED: {out.reason}")
     env.run(until=1_000)
 
     # drain: release the oldest actives in waves until everyone has run
@@ -234,23 +247,125 @@ def _cmd_control_demo(args) -> int:
         env.run(until=env.now + 200)
 
     stats = control.stats()
-    print("\ncounters:")
+    emit("\ncounters:")
     for key in ("submitted", "admitted", "queued", "rejected", "retried",
                 "released"):
-        print(f"  {key:<10} {stats[key]}")
+        emit(f"  {key:<10} {stats[key]}")
     depth = control.series["queue.depth"]
-    print(f"peak queue depth: {depth.maximum():.0f}")
+    emit(f"peak queue depth: {depth.maximum():.0f}")
     if "queue.wait_s" in control.series:
         waits = [r.wait_time for r in control.requests.values()
                  if r.wait_time]
         if waits:
-            print(f"queue wait: mean {sum(waits) / len(waits):.1f}s, "
-                  f"max {max(waits):.1f}s over {len(waits)} queued "
-                  f"request(s)")
+            emit(f"queue wait: mean {sum(waits) / len(waits):.1f}s, "
+                 f"max {max(waits):.1f}s over {len(waits)} queued "
+                 f"request(s)")
     for name, row in stats["tenants"].items():
-        print(f"  {name:<10} services={row['services']} "
-              f"queued={row['queued']}")
+        emit(f"  {name:<10} services={row['services']} "
+             f"queued={row['queued']}")
+
+
+def _demo_elasticity_phase(env, trace, control, emit):
+    """Phase 2: one elastic service whose KPI stream triggers a scale-up —
+    the end-to-end causal chain kpi.publish → rule.firing → vm.deploy,
+    audited against the rule's declared time constraint (§4.2.3)."""
+    from .core.manifest import ManifestBuilder
+    from .monitoring import MonitoringAgent
+    from .obs import TimeConstraintAuditor, render_span_tree
+
+    b = ManifestBuilder("elastic")
+    b.component("web", image_mb=128, cpu=1, memory_mb=1024,
+                initial=1, minimum=1, maximum=3)
+    b.kpi("LB", "web", "demo.web.load", frequency_s=5, default=0)
+    b.rule("up", "@demo.web.load > 80", "deployVM(web)",
+           time_constraint_ms=30_000)
+    out = control.submit("tenant-0", b.build())
+    request = out.request
+    env.run(until=env.now + 5)
+    service = request.service
+    env.run(until=service.deployment)
+    site = next(s for s in control.sites if s.name == request.site)
+    load = {"value": 0}
+    agent = MonitoringAgent(env, service_id=service.service_id,
+                            component="LB", network=site.manager.network,
+                            trace=trace)
+    agent.expose("demo.web.load", lambda: load["value"], frequency_s=5)
+    load["value"] = 100      # sustained overload: the rule must scale up
+    env.run(until=env.now + 90)
+    agent.stop()
+    env.run(until=env.now + 30)
+
+    emit(f"\nelasticity: {service.service_id} scaled web to "
+         f"{service.instance_count('web')} instance(s)")
+    deploys = [s for s in trace.find_spans(kind="vm.deploy")
+               if s.details.get("service") == service.service_id]
+    publishes = trace.find_spans(source="monitoring", kind="kpi.publish")
+    chain = next(
+        ((pub, dep) for dep in deploys for pub in publishes
+         if trace.is_ancestor(pub, dep)), None)
+    if chain is not None:
+        pub, dep = chain
+        emit(f"causal chain: kpi.publish #{pub.span_id} is an ancestor of "
+             f"vm.deploy #{dep.span_id} ({dep.details.get('vm')})")
+        emit(render_span_tree(trace, root=pub))
+    else:
+        emit("causal chain: NOT FOUND — no vm.deploy descends from a "
+             "kpi.publish span")
+    report = TimeConstraintAuditor(trace).audit()
+    emit(report.render())
+    return service
+
+
+def _cmd_control_demo(args) -> int:
+    from .sim import Environment, TraceLog
+
+    env = Environment()
+    trace = TraceLog(env)
+    control = _build_demo_plane(env, trace, args)
+    _demo_churn_phase(env, control, args, print)
+    _demo_elasticity_phase(env, trace, control, print)
     return 0
+
+
+def _cmd_obs_report(args) -> int:
+    """Run the control-demo scenario and print the observability report:
+    span tree, metrics dump, and the §4.2.3 time-constraint audit."""
+    import json
+
+    from .obs import (
+        TimeConstraintAuditor,
+        chrome_trace,
+        export_jsonl,
+        prometheus_text,
+        render_span_tree,
+    )
+    from .sim import Environment, TraceLog
+
+    env = Environment()
+    trace = TraceLog(env)
+    control = _build_demo_plane(env, trace, args)
+    quiet = lambda *_: None  # noqa: E731 - scenario output is not the report
+    _demo_churn_phase(env, control, args, quiet)
+    _demo_elasticity_phase(env, trace, control, quiet)
+
+    print(f"== span tree ({len(trace.spans)} span(s), "
+          f"{len(trace.records)} record(s)) ==")
+    print(render_span_tree(trace, max_depth=args.depth))
+    print("\n== metrics ==")
+    print(prometheus_text(env.metrics))
+    print("== time-constraint audit (§4.2.3) ==")
+    report = TimeConstraintAuditor(trace).audit()
+    print(report.render())
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(chrome_trace(trace), fh)
+        print(f"chrome trace written to {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            export_jsonl(trace, fh)
+        print(f"jsonl trace written to {args.jsonl}")
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -313,6 +428,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quota", type=int, default=3,
                    help="max concurrent services per tenant")
     p.set_defaults(func=_cmd_control_demo)
+
+    p = sub.add_parser("obs-report",
+                       help="observability report over the control-demo "
+                            "scenario (span tree, metrics, audit — "
+                            "DESIGN §12)")
+    p.add_argument("--tenants", type=int, default=2)
+    p.add_argument("--services", type=int, default=2,
+                   help="services submitted per tenant")
+    p.add_argument("--hosts", type=int, default=3,
+                   help="hosts at the larger site")
+    p.add_argument("--quota", type=int, default=2,
+                   help="max concurrent services per tenant")
+    p.add_argument("--depth", type=int, default=6,
+                   help="max span-tree depth to print")
+    p.add_argument("--chrome", metavar="FILE", default=None,
+                   help="also write a Chrome trace-event JSON file")
+    p.add_argument("--jsonl", metavar="FILE", default=None,
+                   help="also write records and spans as JSON lines")
+    p.set_defaults(func=_cmd_obs_report)
 
     return parser
 

@@ -240,6 +240,11 @@ class Placer:
 
     policy: PlacementPolicy = field(default_factory=FirstFit)
     constraints: list[PlacementConstraint] = field(default_factory=list)
+    #: plain tallies (the placer has no environment of its own); the owning
+    #: VEEM exposes them as ``cloud.placement.*`` registry views
+    selections: int = 0
+    capacity_failures: int = 0
+    constraint_failures: int = 0
 
     def add_constraint(self, constraint: PlacementConstraint) -> None:
         self.constraints.append(constraint)
@@ -268,6 +273,7 @@ class Placer:
             if h.fits(descriptor.cpu, descriptor.memory_mb)
         ]
         if not fitting:
+            self.capacity_failures += 1
             raise CapacityError(
                 f"no feasible host for {descriptor.name!r}: pool capacity "
                 f"exhausted (cpu={descriptor.cpu}, "
@@ -278,10 +284,12 @@ class Placer:
             if all(c.admits(h, descriptor, hosts) for c in self.constraints)
         ]
         if not candidates:
+            self.constraint_failures += 1
             raise PlacementError(
                 f"no feasible host for {descriptor.name!r} "
                 f"(cpu={descriptor.cpu}, mem={descriptor.memory_mb}MB, "
                 f"constraints=[{', '.join(c.describe() for c in self.constraints)}])"
             )
         ranked = self.policy.order(candidates, descriptor)
+        self.selections += 1
         return ranked[0]

@@ -52,6 +52,27 @@ class VEEM:
         self.networks = NetworkFabric()
         self._vm_seq = itertools.count(1)
         self.vms: dict[str, VirtualMachine] = {}
+        # Registry-owned operation counters (these paths are not hot — a VM
+        # operation costs simulated seconds) plus views over the placer's
+        # plain tallies.
+        metrics = env.metrics
+        self._m_submitted = metrics.counter("cloud.veem.submitted", site=name)
+        self._m_refused = metrics.counter("cloud.veem.placement_refused",
+                                          site=name)
+        self._m_shutdowns = metrics.counter("cloud.veem.shutdowns", site=name)
+        self._m_migrations = metrics.counter("cloud.veem.migrations",
+                                             site=name)
+        self._m_failures = metrics.counter("cloud.veem.vm_failures",
+                                           site=name)
+        self._m_provision = metrics.histogram("cloud.veem.provisioning_s",
+                                              site=name)
+        placer = self.placer
+        metrics.register_view("cloud.placement.selections",
+                              lambda: placer.selections, site=name)
+        metrics.register_view("cloud.placement.capacity_failures",
+                              lambda: placer.capacity_failures, site=name)
+        metrics.register_view("cloud.placement.constraint_failures",
+                              lambda: placer.constraint_failures, site=name)
 
     # ------------------------------------------------------------------
     # Site assembly
@@ -111,12 +132,26 @@ class VEEM:
         """
         vm_id = f"{self.name}-vm{next(self._vm_seq)}"
         vm = VirtualMachine(self.env, vm_id, descriptor)
-        host = self.placer.select(self.hosts, descriptor)  # may raise
-        host.reserve(vm)
+        # The deploy span covers submission → RUNNING; it nests under the
+        # ambient span (a rule firing, a control-plane request) when one is
+        # active, so the causal chain crosses the VEEM boundary.
+        span = self.trace.span(self.name, "vm.deploy", vm=vm_id,
+                               component=descriptor.component_id,
+                               service=descriptor.service_id)
+        try:
+            host = self.placer.select(self.hosts, descriptor)  # may raise
+            host.reserve(vm)
+        except Exception:
+            self._m_refused.inc()
+            self.trace.close_span(span, "refused")
+            raise
+        vm.span = span
+        span.details["host"] = host.name
+        self._m_submitted.inc()
         self.vms[vm_id] = vm
-        self.trace.emit(self.name, "vm.submit", vm=vm_id,
-                        component=descriptor.component_id,
-                        service=descriptor.service_id, host=host.name)
+        self.trace.emit_in(span, self.name, "vm.submit", vm=vm_id,
+                           component=descriptor.component_id,
+                           service=descriptor.service_id, host=host.name)
         self.env.process(self._deploy(vm, host), name=f"deploy:{vm_id}")
         return vm
 
@@ -126,10 +161,16 @@ class VEEM:
             raise LifecycleError(
                 f"cannot shut down {vm.vm_id} in state {vm.state.value}"
             )
-        self.trace.emit(self.name, "vm.shutdown.request", vm=vm.vm_id,
-                        component=vm.descriptor.component_id,
-                        service=vm.descriptor.service_id)
-        return self.env.process(self._shutdown(vm), name=f"shutdown:{vm.vm_id}")
+        span = self.trace.span(self.name, "vm.shutdown", vm=vm.vm_id,
+                               component=vm.descriptor.component_id,
+                               service=vm.descriptor.service_id)
+        self.trace.emit_in(span, self.name, "vm.shutdown.request",
+                           vm=vm.vm_id,
+                           component=vm.descriptor.component_id,
+                           service=vm.descriptor.service_id)
+        self._m_shutdowns.inc()
+        return self.env.process(self._shutdown(vm, span),
+                                name=f"shutdown:{vm.vm_id}")
 
     def migrate(self, vm: VirtualMachine, target: Host) -> Process:
         """Migrate a running VM to another host of this site."""
@@ -143,9 +184,13 @@ class VEEM:
             raise PlacementError(
                 f"host {target.name} cannot fit {vm.vm_id} for migration"
             )
-        self.trace.emit(self.name, "vm.migrate.request", vm=vm.vm_id,
-                        from_host=vm.host.name, to_host=target.name)
-        return self.env.process(self._migrate(vm, target),
+        span = self.trace.span(self.name, "vm.migrate", vm=vm.vm_id,
+                               from_host=vm.host.name, to_host=target.name)
+        self.trace.emit_in(span, self.name, "vm.migrate.request",
+                           vm=vm.vm_id,
+                           from_host=vm.host.name, to_host=target.name)
+        self._m_migrations.inc()
+        return self.env.process(self._migrate(vm, target, span),
                                 name=f"migrate:{vm.vm_id}")
 
     def suspend(self, vm: VirtualMachine) -> Process:
@@ -191,6 +236,9 @@ class VEEM:
             host.release(vm)
         self.networks.release_all(vm.vm_id)
         vm.transition(VMState.FAILED)
+        self._m_failures.inc()
+        if vm.span is not None and not vm.span.closed:
+            self.trace.close_span(vm.span, "failed")
         self.trace.emit(self.name, "vm.failed", vm=vm.vm_id,
                         component=vm.descriptor.component_id,
                         service=vm.descriptor.service_id,
@@ -203,6 +251,9 @@ class VEEM:
         casualties = host.fail()
         for vm in casualties:
             self.networks.release_all(vm.vm_id)
+            self._m_failures.inc()
+            if vm.span is not None and not vm.span.closed:
+                self.trace.close_span(vm.span, "failed")
             self.trace.emit(self.name, "vm.failed", vm=vm.vm_id,
                             component=vm.descriptor.component_id,
                             service=vm.descriptor.service_id,
@@ -248,12 +299,15 @@ class VEEM:
             return  # failure injected while the guest was booting
 
         vm.transition(VMState.RUNNING)
-        self.trace.emit(self.name, "vm.running", vm=vm.vm_id,
-                        component=d.component_id, service=d.service_id,
-                        host=host.name,
-                        provisioning_time=vm.provisioning_time)
+        self._m_provision.observe(vm.provisioning_time)
+        self.trace.emit_in(vm.span, self.name, "vm.running", vm=vm.vm_id,
+                           component=d.component_id, service=d.service_id,
+                           host=host.name,
+                           provisioning_time=vm.provisioning_time)
+        self.trace.close_span(vm.span, "ok",
+                              provisioning_time=vm.provisioning_time)
 
-    def _shutdown(self, vm: VirtualMachine):
+    def _shutdown(self, vm: VirtualMachine, span=None):
         vm.transition(VMState.SHUTTING_DOWN)
         yield self.env.timeout(vm.host.timings.shutdown_s)
         host = vm.host
@@ -263,6 +317,8 @@ class VEEM:
         self.trace.emit(self.name, "vm.stopped", vm=vm.vm_id,
                         component=vm.descriptor.component_id,
                         service=vm.descriptor.service_id, host=host.name)
+        if span is not None:
+            self.trace.close_span(span, "ok")
 
     def _suspend(self, vm: VirtualMachine):
         yield self.env.timeout(vm.host.timings.suspend_s)
@@ -276,7 +332,7 @@ class VEEM:
             vm.transition(VMState.RUNNING)
             self.trace.emit(self.name, "vm.resumed", vm=vm.vm_id)
 
-    def _migrate(self, vm: VirtualMachine, target: Host):
+    def _migrate(self, vm: VirtualMachine, target: Host, span=None):
         source = vm.host
         vm.transition(VMState.MIGRATING)
         # Reserve on the target first so capacity can't be stolen mid-flight.
@@ -289,6 +345,8 @@ class VEEM:
         vm.transition(VMState.RUNNING)
         self.trace.emit(self.name, "vm.migrated", vm=vm.vm_id,
                         from_host=source.name, to_host=target.name)
+        if span is not None:
+            self.trace.close_span(span, "ok")
 
     # ------------------------------------------------------------------
     # Convenience

@@ -123,6 +123,10 @@ class VirtualMachine:
         self.state_history: list[tuple[float, VMState]] = [
             (env.now, VMState.PENDING)
         ]
+        #: causal ``vm.deploy`` span, set by the VEEM at submit — links this
+        #: VEE back to whatever caused it (a rule firing, a control-plane
+        #: request, or nothing when deployed directly)
+        self.span: Optional[Any] = None
         self.on_running: Event = env.event()
         self.on_stopped: Event = env.event()
 

@@ -51,7 +51,7 @@ from ..cloud.capacity import (
     demand_envelope,
     plan_capacity,
 )
-from ..cloud.errors import CapacityError, PlacementError
+from ..cloud.errors import CapacityError
 from ..cloud.federation import Site
 from ..cloud.veem import VEEM
 from ..core.manifest.model import ServiceManifest
@@ -74,6 +74,10 @@ __all__ = ["ControlledSite", "ControlPlane"]
 
 #: Infrastructure errors the drive loop treats as transient and retries.
 TRANSIENT_ERRORS = (CapacityError, ScaleError)
+
+#: Distinguishes the metric streams of multiple planes sharing one
+#: environment (differential tests build several).
+_plane_ids = itertools.count(1)
 
 
 @dataclass
@@ -112,8 +116,21 @@ class ControlPlane:
         self.tenants: dict[str, Tenant] = {}
         self.scheduler = FairScheduler()
         self.requests: dict[str, ProvisioningRequest] = {}
-        self.counters = {"submitted": 0, "admitted": 0, "queued": 0,
-                         "rejected": 0, "retried": 0, "released": 0}
+        # The request flow counters are registry-owned (these are admission
+        # decisions, not hot-path work); ``counters`` stays readable as a
+        # dict view under the pre-registry key names.
+        metrics = env.metrics
+        plane = f"plane{next(_plane_ids)}"
+        self._plane_label = plane
+        self._m_counters = {
+            name: metrics.counter(f"control.plane.{name}", plane=plane)
+            for name in ("submitted", "admitted", "queued", "rejected",
+                         "retried", "released")
+        }
+        self._m_queue_wait = metrics.histogram("control.plane.queue_wait_s",
+                                               plane=plane)
+        metrics.register_view("control.plane.queue_depth",
+                              lambda: self.scheduler.depth, plane=plane)
         self.series = SeriesRecorder(env)
         self.series.record("queue.depth", 0)
         self._seq = itertools.count(1)
@@ -160,6 +177,12 @@ class ControlPlane:
         self.sites.append(controlled)
         return controlled
 
+    @property
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the registry-owned request-flow counters, keyed by
+        the pre-registry names (compatibility read view)."""
+        return {name: int(c.value) for name, c in self._m_counters.items()}
+
     def register_tenant(self, name: str, *,
                         quota: Optional[TenantQuota] = None,
                         weight: int = 1) -> Tenant:
@@ -194,11 +217,16 @@ class ControlPlane:
             decided=self.env.event(), drivers=drivers,
         )
         self.requests[request.request_id] = request
-        self.counters["submitted"] += 1
-        self.trace.emit("control", "request.submitted",
-                        request=request.request_id, tenant=tenant,
-                        service=request.service_id,
-                        service_name=manifest.service_name)
+        self._m_counters["submitted"].inc()
+        # The request span is the causal root of everything this submission
+        # ends up doing — admission, deployment, the VEEs, the release.
+        request.span = self.trace.span(
+            "control", "request", request=request.request_id,
+            tenant=tenant, service=request.service_id)
+        self.trace.emit_in(request.span, "control", "request.submitted",
+                           request=request.request_id, tenant=tenant,
+                           service=request.service_id,
+                           service_name=manifest.service_name)
 
         # Hard screens: things that will never change by waiting.
         if not owner.quota.admits_alone(envelope):
@@ -220,11 +248,11 @@ class ControlPlane:
         if request.state is not RequestState.QUEUED:
             # Drained straight through: admitted in the same instant.
             return Admitted(request, request.site)
-        self.counters["queued"] += 1
+        self._m_counters["queued"].inc()
         depth = self.scheduler.depth
-        self.trace.emit("control", "request.queued",
-                        request=request.request_id, tenant=tenant,
-                        position=position, depth=depth)
+        self.trace.emit_in(request.span, "control", "request.queued",
+                           request=request.request_id, tenant=tenant,
+                           position=position, depth=depth)
         return Queued(request, position=position, depth=depth)
 
     def release(self, request: ProvisioningRequest) -> Process:
@@ -351,13 +379,14 @@ class ControlPlane:
         request.state = RequestState.DEPLOYING
         request.site = site.name
         request.admitted_at = self.env.now
-        self.counters["admitted"] += 1
+        self._m_counters["admitted"].inc()
         waited = request.wait_time
         self.series.record("queue.wait_s", waited)
-        self.trace.emit("control", "request.admitted",
-                        request=request.request_id, tenant=request.tenant,
-                        site=site.name, waited=waited,
-                        queue_depth=self.scheduler.depth)
+        self._m_queue_wait.observe(waited)
+        self.trace.emit_in(request.span, "control", "request.admitted",
+                           request=request.request_id, tenant=request.tenant,
+                           site=site.name, waited=waited,
+                           queue_depth=self.scheduler.depth)
         request._decide()
         self.env.process(self._drive(request, site),
                          name=f"drive:{request.request_id}")
@@ -376,10 +405,12 @@ class ControlPlane:
     def _reject(self, request: ProvisioningRequest, reason: str) -> Rejected:
         request.state = RequestState.REJECTED
         request.reason = reason
-        self.counters["rejected"] += 1
-        self.trace.emit("control", "request.rejected",
-                        request=request.request_id, tenant=request.tenant,
-                        reason=reason)
+        self._m_counters["rejected"].inc()
+        self.trace.emit_in(request.span, "control", "request.rejected",
+                           request=request.request_id, tenant=request.tenant,
+                           reason=reason)
+        if request.span is not None and not request.span.closed:
+            self.trace.close_span(request.span, "rejected", reason=reason)
         request._decide()
         return Rejected(request, reason=reason)
 
@@ -396,9 +427,14 @@ class ControlPlane:
             failure: Optional[Exception] = None
             service: Optional[ManagedService] = None
             try:
-                service = site.manager.deploy(
-                    request.manifest, service_id=request.service_id,
-                    tenant=request.tenant, drivers=request.drivers)
+                # deploy() is synchronous (it spawns the deployment
+                # process); activating the request span here parents the
+                # service's own deploy span under it, carrying the causal
+                # chain across the process boundary.
+                with self.trace.activate(request.span):
+                    service = site.manager.deploy(
+                        request.manifest, service_id=request.service_id,
+                        tenant=request.tenant, drivers=request.drivers)
                 request.service = service
                 yield service.deployment
             except TRANSIENT_ERRORS as exc:
@@ -413,11 +449,12 @@ class ControlPlane:
             if failure is None:
                 request.state = RequestState.ACTIVE
                 self._by_service[request.service_id] = request
-                self.trace.emit("control", "request.active",
-                                request=request.request_id,
-                                tenant=request.tenant, site=site.name,
-                                service=request.service_id,
-                                attempts=request.attempts)
+                self.trace.emit_in(request.span, "control",
+                                   "request.active",
+                                   request=request.request_id,
+                                   tenant=request.tenant, site=site.name,
+                                   service=request.service_id,
+                                   attempts=request.attempts)
                 return
             if request.attempts >= self.retry.max_attempts:
                 site.admission.release(request.manifest)
@@ -428,7 +465,7 @@ class ControlPlane:
                 self._pump()    # the reservation just freed — re-drain
                 return
             delay = self.retry.backoff(request.attempts)
-            self.counters["retried"] += 1
+            self._m_counters["retried"].inc()
             self.trace.emit("control", "request.retry",
                             request=request.request_id,
                             tenant=request.tenant, attempt=request.attempts,
@@ -456,9 +493,12 @@ class ControlPlane:
         request.state = RequestState.RELEASED
         request.released_at = self.env.now
         request.service = None
-        self.counters["released"] += 1
-        self.trace.emit("control", "request.released",
-                        request=request.request_id, tenant=request.tenant,
-                        site=site.name,
-                        held_s=self.env.now - (request.admitted_at or 0.0))
+        self._m_counters["released"].inc()
+        self.trace.emit_in(request.span, "control", "request.released",
+                           request=request.request_id, tenant=request.tenant,
+                           site=site.name,
+                           held_s=self.env.now
+                           - (request.admitted_at or 0.0))
+        if not request.span.closed:
+            self.trace.close_span(request.span, "released")
         self._pump()    # capacity freed: drain the queue

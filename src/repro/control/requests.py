@@ -68,6 +68,10 @@ class ProvisioningRequest:
     #: i.e. on entering DEPLOYING or REJECTED
     decided: Optional[Event] = field(default=None, repr=False)
     drivers: Optional[dict] = field(default=None, repr=False)
+    #: causal root span covering the whole request lifetime (opened at
+    #: submit, closed at the terminal state) — every service/VEE span the
+    #: request causes descends from it
+    span: Optional[object] = field(default=None, repr=False)
 
     @property
     def is_decided(self) -> bool:

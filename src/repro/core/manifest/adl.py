@@ -21,7 +21,7 @@ The concrete XML of §6.1.2::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ...monitoring.measurements import AttributeType, validate_qualified_name

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .expressions import Expression, ExpressionError, parse_expression

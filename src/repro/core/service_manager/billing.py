@@ -11,7 +11,7 @@ statement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..sla import SLAMonitor

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 import re
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -139,8 +140,38 @@ class ServiceLifecycleManager:
         self.descriptors: list[DeploymentDescriptor] = []
         self.deployed_at: Optional[float] = None
         self.terminated_at: Optional[float] = None
+        #: ``service.deploy`` span (set by the ServiceManager); activated
+        #: around the synchronous instance submissions so the VEEs' deploy
+        #: spans nest under the service, and closed when step 7 completes
+        self.span = None
+        #: ``service.undeploy`` span, set by ServiceManager.undeploy
+        self.term_span = None
         #: invoked with each VM that reaches RUNNING (apps bind guests here)
         self.on_instance_running: list[Callable[[str, VirtualMachine], None]] = []
+        env.metrics.register_view(
+            "core.lifecycle.active_instances",
+            lambda: sum(c.active_count for c in self.components.values()),
+            service=parsed.service_id)
+        # Scaling/healing counters are created on first use: most services
+        # in a churn-heavy run never scale, and deploy/terminate is a
+        # control-plane hot path.
+        self._m_scale_ups = None
+        self._m_scale_downs = None
+        self._m_heals = None
+
+    def _counter(self, attr: str, name: str):
+        counter = getattr(self, attr)
+        if counter is None:
+            counter = self.env.metrics.counter(
+                name, service=self.parsed.service_id)
+            setattr(self, attr, counter)
+        return counter
+
+    def _activated(self, span):
+        """Ambient-scope context for a synchronous section, or a no-op."""
+        if span is None:
+            return nullcontext()
+        return self.trace.activate(span)
 
     # ------------------------------------------------------------------
     # Driver registration
@@ -161,35 +192,47 @@ class ServiceLifecycleManager:
     # Initial deployment (§5.1.1 steps 4–7)
     # ------------------------------------------------------------------
     def deploy_service(self):
-        """Process: bring up every component per the startup section."""
+        """Process: bring up every component per the startup section.
+
+        The ``service.deploy`` span is *activated* only around the
+        synchronous sections (never across a ``yield`` — other processes
+        interleave there), so the VEE submissions of every tier nest under
+        the service span without leaking scope into unrelated processes.
+        """
         manifest = self.parsed.manifest
-        self.trace.emit("lifecycle", "service.deploy.start",
-                        service=self.parsed.service_id)
-        # Step 4: set up images on the internal server.
-        self._register_images()
-        # Install placement constraints before any submission.
-        for constraint in self.parsed.placement_constraints():
-            if constraint not in self.veem.placer.constraints:
-                self.veem.placer.add_constraint(constraint)
+        with self._activated(self.span):
+            self.trace.emit("lifecycle", "service.deploy.start",
+                            service=self.parsed.service_id)
+            # Step 4: set up images on the internal server.
+            self._register_images()
+            # Install placement constraints before any submission.
+            for constraint in self.parsed.placement_constraints():
+                if constraint not in self.veem.placer.constraints:
+                    self.veem.placer.add_constraint(constraint)
 
         # Steps 5–7, tier by tier.
         for tier in manifest.startup_order():
             waits = []
-            for system_id in tier:
-                component = self._component(system_id)
-                for _ in range(component.system.instances.initial):
-                    vm = self._deploy_instance(component)
-                    entry = next(
-                        (e for e in manifest.startup
-                         if e.system_id == system_id), None)
-                    if entry is None or entry.wait_for_guest:
-                        waits.append(vm.on_running)
+            with self._activated(self.span):
+                for system_id in tier:
+                    component = self._component(system_id)
+                    for _ in range(component.system.instances.initial):
+                        vm = self._deploy_instance(component)
+                        entry = next(
+                            (e for e in manifest.startup
+                             if e.system_id == system_id), None)
+                        if entry is None or entry.wait_for_guest:
+                            waits.append(vm.on_running)
             if waits:
                 yield self.env.all_of(waits)
         self.deployed_at = self.env.now
-        self.trace.emit("lifecycle", "service.deploy.done",
-                        service=self.parsed.service_id,
-                        duration=self.env.now)
+        self.trace.emit_in(self.span, "lifecycle", "service.deploy.done",
+                           service=self.parsed.service_id,
+                           duration=self.env.now)
+        if self.span is not None and not self.span.closed:
+            self.trace.close_span(
+                self.span, "ok",
+                deploy_duration_s=self.env.now - self.span.start)
 
     def _register_images(self) -> None:
         repo = self.veem.repository
@@ -274,6 +317,7 @@ class ServiceLifecycleManager:
                             component=component.system.system_id,
                             error=str(exc))
             return
+        self._counter('_m_heals', 'core.lifecycle.heals').inc()
         self.trace.emit("lifecycle", "instance.heal",
                         service=self.parsed.service_id,
                         component=component.system.system_id,
@@ -292,6 +336,7 @@ class ServiceLifecycleManager:
         if not component.system.replicable and component.effective_count >= 1:
             raise ScaleError(f"{system_id}: component is not replicable")
         vm = self._deploy_instance(component)
+        self._counter('_m_scale_ups', 'core.lifecycle.scale_ups').inc()
         self.trace.emit("lifecycle", "scale.up",
                         service=self.parsed.service_id,
                         component=system_id, vm=vm.vm_id,
@@ -309,6 +354,7 @@ class ServiceLifecycleManager:
         if vm is None:
             raise ScaleError(f"{system_id}: no releasable instance")
         component.releasing.add(vm.vm_id)
+        self._counter('_m_scale_downs', 'core.lifecycle.scale_downs').inc()
         self.trace.emit("lifecycle", "scale.down",
                         service=self.parsed.service_id,
                         component=system_id, vm=vm.vm_id,
@@ -351,24 +397,33 @@ class ServiceLifecycleManager:
     def terminate_service(self):
         """Process: release every instance, reverse startup order."""
         self._terminating = True
-        self.trace.emit("lifecycle", "service.terminate.start",
-                        service=self.parsed.service_id)
+        self.trace.emit_in(self.term_span, "lifecycle",
+                           "service.terminate.start",
+                           service=self.parsed.service_id)
         for tier in reversed(self.parsed.manifest.startup_order()):
             stops = []
-            for system_id in tier:
-                component = self.components.get(system_id)
-                if component is None:
-                    continue
-                while component.active_count > 0:
-                    vm = component.driver.release()
-                    if vm is None:
-                        break
-                    stops.append(vm.on_stopped)
+            with self._activated(self.term_span):
+                for system_id in tier:
+                    component = self.components.get(system_id)
+                    if component is None:
+                        continue
+                    while component.active_count > 0:
+                        vm = component.driver.release()
+                        if vm is None:
+                            break
+                        stops.append(vm.on_stopped)
             if stops:
                 yield self.env.all_of(stops)
         self.terminated_at = self.env.now
-        self.trace.emit("lifecycle", "service.terminate.done",
-                        service=self.parsed.service_id)
+        self.trace.emit_in(self.term_span, "lifecycle",
+                           "service.terminate.done",
+                           service=self.parsed.service_id)
+        if self.term_span is not None and not self.term_span.closed:
+            self.trace.close_span(self.term_span, "ok")
+        # A deploy span still open here means the service was torn down
+        # mid-deployment; close it so no span outlives its service.
+        if self.span is not None and not self.span.closed:
+            self.trace.close_span(self.span, "aborted")
 
     # ------------------------------------------------------------------
     # Introspection

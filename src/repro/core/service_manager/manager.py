@@ -39,6 +39,12 @@ class ManagedService:
     #: the termination process once undeploy() has been called — the marker
     #: that makes undeploy idempotent
     termination: Optional[Process] = None
+    #: ``service.deploy`` causal span (child of the provisioning request's
+    #: span when the control plane drove the deployment)
+    span: Optional[object] = field(default=None, repr=False)
+    #: records on the shared trace attributed to this service, counted by
+    #: the manager's dispatch listener until undeploy() detaches the service
+    trace_record_count: int = 0
     _suite: object = field(default=None, repr=False)
 
     @property
@@ -72,6 +78,16 @@ class ServiceManager:
         #: the termination completes, whichever layer initiated the undeploy
         self.on_undeploy: list[
             Callable[[ManagedService, Process], None]] = []
+        # Per-service record counting runs through ONE shared listener with
+        # a dict dispatch — one closure per live service would make every
+        # emit on the shared trace O(live services).
+        self._counted: dict[str, ManagedService] = {}
+        self._count_sub = None
+
+    def _count_record(self, record) -> None:
+        service = self._counted.get(record.details.get("service"))
+        if service is not None:
+            service.trace_record_count += 1
 
     # ------------------------------------------------------------------
     # Deployment interface (§5.1.1)
@@ -90,9 +106,15 @@ class ServiceManager:
         """
         # Step 1: parse + validate.
         parsed = self.parser.parse(manifest, service_id=service_id)
+        # The service span nests under whatever is ambient (a control-plane
+        # request span, a rule firing) — or roots a new tree for direct
+        # deployments; the lifecycle closes it when step 7 completes.
+        span = self.trace.span("service-manager", "service.deploy",
+                               service=parsed.service_id, tenant=tenant)
         # Step 2: deployment command to the lifecycle manager.
         lifecycle = ServiceLifecycleManager(self.env, parsed, self.veem,
                                             trace=self.trace, tenant=tenant)
+        lifecycle.span = span
         for system_id, driver in (drivers or {}).items():
             lifecycle.use_driver(system_id, driver)
         # Step 3: install the elasticity rules in the rule engine.
@@ -114,8 +136,16 @@ class ServiceManager:
         )
         service = ManagedService(
             parsed=parsed, lifecycle=lifecycle, interpreter=interpreter,
-            deployment=deployment, tenant=tenant, _suite=deployment_suite(),
+            deployment=deployment, tenant=tenant, span=span,
+            _suite=deployment_suite(),
         )
+        # Attach the service to the counting listener; the listener itself
+        # is subscribed on first use and detached by undeploy() once the
+        # last service is gone, so long simulations churning services don't
+        # accumulate dead listeners.
+        self._counted[parsed.service_id] = service
+        if self._count_sub is None:
+            self._count_sub = self.trace.subscribe(self._count_record)
         self.services[parsed.service_id] = service
         return service
 
@@ -131,6 +161,15 @@ class ServiceManager:
             return service.termination
         service.interpreter.stop()
         service.interpreter.detach()
+        self._counted.pop(service.service_id, None)
+        if not self._counted and self._count_sub is not None:
+            self._count_sub.cancel()
+            self._count_sub = None
+        if service.span is not None:
+            # The undeploy descends from the deployment it reverses.
+            service.lifecycle.term_span = self.trace.span(
+                "service-manager", "service.undeploy",
+                service=service.service_id, parent=service.span)
         termination = self.env.process(
             service.lifecycle.terminate_service(),
             name=f"terminate:{service.service_id}",

@@ -124,6 +124,9 @@ class RuleInterpreter:
                                           window=self._window)
         #: live network subscriptions, cancelled by detach() on undeploy
         self._subscriptions: list = []
+        #: span of the most recent measurement per indexed KPI — the causal
+        #: parent for firings that measurement enables
+        self._kpi_spans: dict[str, object] = {}
         self.firings: list[RuleFiring] = []
         self.evaluations = 0
         #: cumulative number of per-rule condition evaluations
@@ -132,6 +135,27 @@ class RuleInterpreter:
         self.rules_skipped = 0
         #: breakdown of the most recent pass, for validation and benches
         self.last_pass: dict[str, int] = {}
+        #: views registered lazily on the first install() — a service with
+        #: no elasticity rules never publishes rule-engine streams
+        self._views_registered = False
+
+    def _register_views(self) -> None:
+        # The per-pass tallies stay plain ints (the evaluation pass is a
+        # microsecond-scale hot path); the registry reads them as views.
+        metrics = self.env.metrics
+        service_id = self.service_id
+        metrics.register_view("core.rules.installed",
+                              lambda: len(self._rules), service=service_id)
+        metrics.register_view("core.rules.evaluations",
+                              lambda: self.evaluations, service=service_id)
+        metrics.register_view("core.rules.rules_evaluated",
+                              lambda: self.rules_evaluated,
+                              service=service_id)
+        metrics.register_view("core.rules.rules_skipped",
+                              lambda: self.rules_skipped, service=service_id)
+        metrics.register_view("core.rules.firings",
+                              lambda: len(self.firings), service=service_id)
+        self._views_registered = True
 
     # ------------------------------------------------------------------
     # Installation (§5.1.1 step 3)
@@ -139,6 +163,8 @@ class RuleInterpreter:
     def install(self, rule: ElasticityRule) -> None:
         if rule.name in self._rules:
             raise ValueError(f"rule {rule.name!r} already installed")
+        if not self._views_registered:
+            self._register_views()
         refs = rule.kpi_references()
         expression = rule.trigger.expression
         cond = expression.compile() if self._compiled else expression.interpret
@@ -201,6 +227,12 @@ class RuleInterpreter:
         self.journal.notify(measurement)
         if measurement.qualified_name in self._kpi_index:
             self._dirty.add(measurement.qualified_name)
+            # Delivery is synchronous from the publisher's span scope, so the
+            # ambient span here *is* the KPI publication — remember it as the
+            # causal parent for any firing this measurement enables.
+            span = self.env.current_span
+            if span is not None:
+                self._kpi_spans[measurement.qualified_name] = span
 
     def subscribe_to(self, network: DistributionFramework):
         subscription = network.subscribe(self.notify,
@@ -328,24 +360,42 @@ class RuleInterpreter:
             # Held: a sustained condition re-fires after its cooldown even
             # with no new measurements, so it must stay on the check list.
             self._set_hot(installed, True)
+            # The firing span parents under the most recent measurement that
+            # the rule references — the publication that enabled the
+            # condition — making "which KPI caused this adjustment, and did
+            # it land inside the time constraint?" a tree walk (§4.2.3).
+            enabling = None
+            for ref in installed.refs:
+                span = self._kpi_spans.get(ref)
+                if span is not None and (enabling is None
+                                         or span.start >= enabling.start):
+                    enabling = span
+            firing_span = self.trace.span(
+                "rule-engine", "rule.firing", parent=enabling,
+                rule=rule.name, service=self.service_id,
+                time_constraint_s=rule.trigger.time_constraint_s)
             actions_run = 0
-            for action in rule.actions:
-                if self.executor(action, rule):
-                    actions_run += 1
-                    self.trace.emit(
-                        "rule-engine", "elasticity.action",
-                        rule=rule.name, service=self.service_id,
-                        operation=action.operation.value,
-                        component_ref=action.component_ref,
-                    )
+            with self.trace.activate(firing_span):
+                for action in rule.actions:
+                    if self.executor(action, rule):
+                        actions_run += 1
+                        self.trace.emit(
+                            "rule-engine", "elasticity.action",
+                            rule=rule.name, service=self.service_id,
+                            operation=action.operation.value,
+                            component_ref=action.component_ref,
+                        )
             if actions_run:
                 installed.last_fired = now
                 installed.firings += 1
                 firing = RuleFiring(now, rule.name, actions_run)
                 self.firings.append(firing)
                 fired.append(firing)
+                self.trace.close_span(firing_span, "fired",
+                                      actions_run=actions_run)
             else:
                 installed.suppressed_evaluations += 1
+                self.trace.close_span(firing_span, "suppressed")
         self.rules_evaluated += evaluated
         self.rules_skipped += len(self._rules) - len(work)
         self.last_pass = {

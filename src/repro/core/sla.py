@@ -76,6 +76,21 @@ class SLAMonitor:
         self._hooks: list[ProtectionHook] = []
         self._subscriptions: list = []
         self._started = False
+        # Registry views over the sample/breach lists — zero cost on the
+        # evaluation path, live totals in the unified metrics registry.
+        metrics = env.metrics
+        metrics.register_view(
+            "core.sla.samples",
+            lambda: sum(len(s.samples) for s in self._states.values()),
+            service=service_id)
+        metrics.register_view(
+            "core.sla.breaches",
+            lambda: sum(len(s.breaches) for s in self._states.values()),
+            service=service_id)
+        metrics.register_view(
+            "core.sla.penalties_accrued",
+            lambda: self.penalties_accrued,
+            service=service_id)
 
     # ------------------------------------------------------------------
     # Wiring

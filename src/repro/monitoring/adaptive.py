@@ -16,7 +16,7 @@ information model's Table 2 entries stay current.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..sim import Environment, Interrupt, TraceLog

@@ -75,7 +75,8 @@ class MonitoringAgent:
 
     def __init__(self, env: Environment, *, service_id: str,
                  component: str, network: DistributionFramework,
-                 infomodel: Optional[InformationModel] = None):
+                 infomodel: Optional[InformationModel] = None,
+                 trace=None):
         if not component:
             raise ValueError("component must be non-empty")
         self.env = env
@@ -83,7 +84,7 @@ class MonitoringAgent:
         self.component = component
         self.datasource = DataSource(
             env, name=f"agent:{component}", service_id=service_id,
-            network=network, infomodel=infomodel,
+            network=network, infomodel=infomodel, trace=trace,
         )
 
     def expose(self, qualified_name: str, value_fn: ValueFunction, *,

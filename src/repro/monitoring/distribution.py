@@ -77,6 +77,9 @@ ConsumerCallback = Callable[[Measurement], None]
 #: characters that make a qualified-name filter a glob pattern
 _GLOB_RE = re.compile(r"[*?\[]")
 
+#: distinguishes multiple fabrics in one environment's metrics registry
+_fabric_ids = itertools.count(1)
+
 
 def topic_for(service_id: str, qualified_name: str) -> str:
     """Canonical topic string for pub/sub routing.
@@ -166,6 +169,18 @@ class DistributionFramework(abc.ABC):
         #: FIFO of (due time, [packets]) batches awaiting the latency edge
         self._pending: deque[tuple[float, list[bytes]]] = deque()
         self._drain = None
+        # The counters above stay plain ints (the delivery loop is the
+        # hottest path in the system); the unified registry sees them
+        # through zero-cost views instead.
+        self._fabric_label = f"fabric{next(_fabric_ids)}"
+        metrics = env.metrics
+        for attr in ("bytes_published", "bytes_delivered",
+                     "packets_published", "packets_decoded",
+                     "delivery_events"):
+            metrics.register_view(
+                f"monitoring.fabric.{attr}",
+                (lambda _a=attr: getattr(self, _a)),
+                fabric=self._fabric_label)
 
     # -- publishing ----------------------------------------------------------
     def publish(self, measurement: Measurement, *,
@@ -319,6 +334,13 @@ class PubSubBroker(DistributionFramework):
         self._route_cache: dict[tuple[str, str], tuple[Subscription, ...]] = {}
         self.route_cache_hits = 0
         self.route_cache_misses = 0
+        metrics = env.metrics
+        metrics.register_view(
+            "monitoring.broker.route_cache_hits",
+            lambda: self.route_cache_hits, fabric=self._fabric_label)
+        metrics.register_view(
+            "monitoring.broker.route_cache_misses",
+            lambda: self.route_cache_misses, fabric=self._fabric_label)
 
     # -- index maintenance ---------------------------------------------------
     def _bucket(self, sub: Subscription) -> list[Subscription]:

@@ -115,7 +115,8 @@ class DataSource:
 
     def __init__(self, env: Environment, name: str, service_id: str,
                  network: DistributionFramework, *,
-                 infomodel: Optional["InformationModel"] = None):
+                 infomodel: Optional["InformationModel"] = None,
+                 trace: Optional[Any] = None):
         if not name:
             raise ValueError("data source name must be non-empty")
         if not service_id:
@@ -126,8 +127,26 @@ class DataSource:
         self.service_id = service_id
         self.network = network
         self.infomodel = infomodel
+        #: Optional TraceLog: when set, every publication runs inside a
+        #: ``kpi.publish`` span — the root of the causal chain that links a
+        #: measurement to the elasticity actions it eventually causes.
+        #: Delivery at latency 0 is synchronous, so consumers notified during
+        #: the publish see the span as ambient and can adopt it as a parent.
+        self.trace = trace
         self.probes: dict[str, Probe] = {}
         self._loops: dict[str, Any] = {}
+
+    def _publish(self, probe: Probe, measurement: Measurement) -> None:
+        packet = probe.encode_packet(measurement)
+        if self.trace is None:
+            self.network.publish(measurement, packet=packet)
+        else:
+            with self.trace.span_scope(
+                    "monitoring", "kpi.publish",
+                    kpi=measurement.qualified_name,
+                    service=self.service_id, probe=probe.probe_id):
+                self.network.publish(measurement, packet=packet)
+        probe.measurements_sent += 1
 
     # -- probe management ---------------------------------------------------
     def add_probe(self, probe: Probe, *, start: bool = True) -> Probe:
@@ -177,15 +196,30 @@ class DataSource:
             return None
         measurement = probe.take_measurement(self.env, self.service_id)
         if measurement is not None:
-            self.network.publish(measurement,
-                                 packet=probe.encode_packet(measurement))
-            probe.measurements_sent += 1
+            self._publish(probe, measurement)
         return measurement
 
     def emit_all_now(self) -> list[Measurement]:
         """Collect every ``on`` probe once and publish the results as one
         batch — packets sharing the fabric's latency edge cost a single
-        kernel event (see ``DistributionFramework.publish_many``)."""
+        kernel event (see ``DistributionFramework.publish_many``).
+
+        With tracing enabled each measurement needs its own ``kpi.publish``
+        span (causal attribution is per-KPI), so the batch degrades to
+        per-probe publishes — attribution over coalescing.
+        """
+        if self.trace is not None:
+            out: list[Measurement] = []
+            for probe in self.probes.values():
+                if not probe.on:
+                    continue
+                measurement = probe.take_measurement(self.env,
+                                                     self.service_id)
+                if measurement is None:
+                    continue
+                self._publish(probe, measurement)
+                out.append(measurement)
+            return out
         measurements: list[Measurement] = []
         packets: list[bytes] = []
         for probe in self.probes.values():
@@ -211,9 +245,7 @@ class DataSource:
                     continue
                 measurement = probe.take_measurement(self.env, self.service_id)
                 if measurement is not None:
-                    self.network.publish(
-                        measurement, packet=probe.encode_packet(measurement))
-                    probe.measurements_sent += 1
+                    self._publish(probe, measurement)
         except Interrupt:
             pass
 

@@ -19,7 +19,15 @@ from .kernel import (
 )
 from .resources import Container, FilterStore, Resource, Store
 from .rng import RandomStreams, lognormal_from_mean_cv, truncated_normal
-from .tracing import SeriesRecorder, TimeSeries, TraceLog, TraceRecord
+from .tracing import (
+    SeriesRecorder,
+    Span,
+    SpanError,
+    TimeSeries,
+    TraceLog,
+    TraceRecord,
+    TraceSubscription,
+)
 
 __all__ = [
     "AllOf",
@@ -39,7 +47,10 @@ __all__ = [
     "lognormal_from_mean_cv",
     "truncated_normal",
     "SeriesRecorder",
+    "Span",
+    "SpanError",
     "TimeSeries",
     "TraceLog",
     "TraceRecord",
+    "TraceSubscription",
 ]

@@ -388,13 +388,25 @@ class Environment:
     URGENT = 0
     NORMAL = 1
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_metrics",
+                 "_obs_scope")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count().__next__
         self._active_process: Optional[Process] = None
+        #: Lazily-built metrics registry (one per environment); see
+        #: :attr:`metrics`.
+        self._metrics: Optional[Any] = None
+        #: Ambient span stack: the implicit causal parent for spans and trace
+        #: records created synchronously inside a scope. It lives here — not
+        #: on any one TraceLog — because causality is a property of the
+        #: execution context: a VEEM tracing to its own log still parents its
+        #: deploy span under the rule firing that invoked it. Scopes must
+        #: never span a ``yield`` (processes interleave); cross-process
+        #: causality is passed explicitly via ``parent=``.
+        self._obs_scope: list[Any] = []
 
     @property
     def now(self) -> float:
@@ -404,6 +416,24 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def metrics(self):
+        """The environment's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Built on first access so simulations that never touch observability
+        pay nothing; imported lazily to keep the kernel dependency-free.
+        """
+        if self._metrics is None:
+            from ..obs.metrics import MetricsRegistry
+            self._metrics = MetricsRegistry()
+        return self._metrics
+
+    @property
+    def current_span(self):
+        """The innermost ambient span, or None outside any scope."""
+        scope = self._obs_scope
+        return scope[-1] if scope else None
 
     # -- factories -----------------------------------------------------------
     def event(self) -> Event:

@@ -6,54 +6,213 @@ generated instruments "verify ... that suitable adjustment operations were
 invoked by matching entries and time frames in infrastructural logs"). This
 module provides the log those instruments consume, plus the time-series
 recorder used to regenerate Fig. 11.
+
+Beyond flat records the log now carries *causal spans*
+(:class:`~repro.obs.spans.Span`): attributed intervals with parent links, so
+one chain connects a KPI publication through the rule firing it enabled down
+to the VEEM deploy it caused. Flat ``emit()`` callers are untouched — records
+emitted outside any span scope serialise byte-identically to the seed.
+
+Query-side, ``query``/``first``/``last`` run off per-(source, kind) indices
+maintained lazily: ``emit()`` stays a plain append (the write path is the hot
+one), and indices catch up to the high-water mark on the first read. Records
+are appended in nondecreasing simulation time, so every index list is itself
+time-sorted and the time window reduces to two bisects.
 """
 
 from __future__ import annotations
 
 import bisect
 import json
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from operator import attrgetter
+from typing import Any, Callable, Iterator, Optional, Union
 
+from ..obs.spans import Span, SpanError, next_span_id
 from .kernel import Environment
 
-__all__ = ["TraceRecord", "TraceLog", "TimeSeries", "SeriesRecorder"]
+__all__ = [
+    "TraceRecord",
+    "TraceLog",
+    "TraceSubscription",
+    "Span",
+    "SpanError",
+    "TimeSeries",
+    "SeriesRecorder",
+]
+
+_REC_TIME = attrgetter("time")
+
+#: Shared empty candidate list for index misses.
+_EMPTY: tuple = ()
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One structured log entry: (time, source, event kind, details)."""
+    """One structured log entry: (time, source, event kind, details).
 
-    time: float
-    source: str
-    kind: str
-    details: dict[str, Any] = field(default_factory=dict)
+    ``span_id`` attributes the record to the causal span that was ambient
+    when it was emitted; it is ``None`` (and omitted from the JSON form) for
+    records emitted outside any span scope, keeping flat logging
+    byte-identical to the pre-span format.
+
+    Records are immutable by convention. A handwritten ``__slots__`` class
+    rather than a frozen dataclass: one is built per ``emit()``, and the
+    frozen ``object.__setattr__`` dance is the single biggest cost on that
+    path.
+    """
+
+    __slots__ = ("time", "source", "kind", "details", "span_id")
+
+    def __init__(self, time: float, source: str, kind: str,
+                 details: Optional[dict[str, Any]] = None,
+                 span_id: Optional[int] = None):
+        self.time = time
+        self.source = source
+        self.kind = kind
+        self.details = details if details is not None else {}
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return (f"TraceRecord(time={self.time!r}, source={self.source!r}, "
+                f"kind={self.kind!r}, details={self.details!r}, "
+                f"span_id={self.span_id!r})")
 
     def to_json(self) -> str:
-        return json.dumps(
-            {"time": self.time, "source": self.source, "kind": self.kind,
-             "details": self.details},
-            sort_keys=True,
-        )
+        payload: dict[str, Any] = {
+            "time": self.time, "source": self.source, "kind": self.kind,
+            "details": self.details,
+        }
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        return json.dumps(payload, sort_keys=True)
+
+
+class TraceSubscription:
+    """Detachable handle for a trace listener (mirrors the monitoring
+    fabric's ``Subscription``). ``cancel()`` is idempotent."""
+
+    __slots__ = ("log", "listener", "active")
+
+    def __init__(self, log: "TraceLog",
+                 listener: Callable[[TraceRecord], None]):
+        self.log = log
+        self.listener = listener
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.active = False
+            self.log.unsubscribe(self.listener)
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "cancelled"
+        return f"<TraceSubscription {state} {self.listener!r}>"
+
+
+class _SpanScope:
+    """Hand-rolled context manager for :meth:`TraceLog.span_scope` — this
+    sits on the deploy/submit paths, where ``@contextmanager``'s generator
+    machinery is measurable overhead."""
+
+    __slots__ = ("_log", "_scope", "span", "_status")
+
+    def __init__(self, log: "TraceLog", span: Span, status: str):
+        self._log = log
+        self._scope = log._scope
+        self.span = span
+        self._status = status
+
+    def __enter__(self) -> Span:
+        self._scope.append(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._scope.pop()
+        if not self.span.closed:
+            self._log.close_span(
+                self.span, "error" if exc_type is not None else self._status)
+        return False
+
+
+class _Activation:
+    """Hand-rolled context manager for :meth:`TraceLog.activate`."""
+
+    __slots__ = ("_scope", "span")
+
+    def __init__(self, scope: list, span: Span):
+        self._scope = scope
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._scope.append(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._scope.pop()
+        return False
 
 
 class TraceLog:
-    """Append-only structured log with simple query support."""
+    """Append-only structured log with indexed queries and causal spans."""
 
     def __init__(self, env: Environment):
         self.env = env
+        # The ambient scope stack lives on the environment (causality is an
+        # environment-wide property); bind the list once for the hot paths.
+        self._scope = env._obs_scope
         self.records: list[TraceRecord] = []
         self._listeners: list[Callable[[TraceRecord], None]] = []
+        #: All spans opened through this log, by id (insertion-ordered).
+        self.spans: dict[int, Span] = {}
+        # Lazy per-(source, kind) indices over ``records``; ``_idx_pos`` is
+        # the number of records already folded in. emit() never touches
+        # these — the first query after a burst of writes catches them up.
+        self._by_source: dict[str, list[TraceRecord]] = {}
+        self._by_kind: dict[str, list[TraceRecord]] = {}
+        self._by_pair: dict[tuple[str, str], list[TraceRecord]] = {}
+        self._by_span: dict[int, list[TraceRecord]] = {}
+        self._idx_pos = 0
 
+    # -- flat records --------------------------------------------------------
     def emit(self, source: str, kind: str, **details: Any) -> TraceRecord:
-        record = TraceRecord(self.env.now, source, kind, details)
+        scope = self._scope
+        record = TraceRecord(self.env.now, source, kind, details,
+                             scope[-1].span_id if scope else None)
         self.records.append(record)
         for listener in self._listeners:
             listener(record)
         return record
 
-    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+    def emit_in(self, span: Optional[Span], source: str, kind: str,
+                **details: Any) -> TraceRecord:
+        """Emit one record attributed to ``span`` directly — the
+        single-record equivalent of ``with activate(span): emit(...)``
+        without the scope push/pop. ``span=None`` emits a flat record."""
+        record = TraceRecord(self.env.now, source, kind, details,
+                             span.span_id if span is not None else None)
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+        return record
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]
+                  ) -> TraceSubscription:
         self._listeners.append(listener)
+        return TraceSubscription(self, listener)
+
+    def unsubscribe(self, handle: Union[TraceSubscription,
+                                        Callable[[TraceRecord], None]]
+                    ) -> None:
+        """Detach a listener by handle or by the original callable.
+
+        Detaching something no longer attached is a no-op — undeploy paths
+        race with explicit cancellation and both must be safe.
+        """
+        listener = (handle.listener if isinstance(handle, TraceSubscription)
+                    else handle)
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def __len__(self) -> int:
         return len(self.records)
@@ -61,17 +220,49 @@ class TraceLog:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
+    # -- indexed queries -----------------------------------------------------
+    def _refresh_indices(self) -> None:
+        records = self.records
+        pos = self._idx_pos
+        if pos == len(records):
+            return
+        by_source, by_kind = self._by_source, self._by_kind
+        by_pair, by_span = self._by_pair, self._by_span
+        for i in range(pos, len(records)):
+            r = records[i]
+            by_source.setdefault(r.source, []).append(r)
+            by_kind.setdefault(r.kind, []).append(r)
+            by_pair.setdefault((r.source, r.kind), []).append(r)
+            if r.span_id is not None:
+                by_span.setdefault(r.span_id, []).append(r)
+        self._idx_pos = len(records)
+
+    def _candidates(self, source: Optional[str], kind: Optional[str]
+                    ) -> list[TraceRecord]:
+        if source is None and kind is None:
+            return self.records
+        self._refresh_indices()
+        if source is not None and kind is not None:
+            return self._by_pair.get((source, kind), _EMPTY)
+        if source is not None:
+            return self._by_source.get(source, _EMPTY)
+        return self._by_kind.get(kind, _EMPTY)
+
     def query(self, *, source: Optional[str] = None,
               kind: Optional[str] = None,
               since: float = float("-inf"),
               until: float = float("inf")) -> list[TraceRecord]:
-        """Filter records by source, kind and time window (inclusive)."""
-        return [
-            r for r in self.records
-            if (source is None or r.source == source)
-            and (kind is None or r.kind == kind)
-            and since <= r.time <= until
-        ]
+        """Filter records by source, kind and time window (inclusive).
+
+        Index lookup plus two bisects — no linear scan. Results are in emit
+        order, identical to the seed's linear filter.
+        """
+        candidates = self._candidates(source, kind)
+        if since == float("-inf") and until == float("inf"):
+            return list(candidates)
+        lo = bisect.bisect_left(candidates, since, key=_REC_TIME)
+        hi = bisect.bisect_right(candidates, until, key=_REC_TIME)
+        return list(candidates[lo:hi])
 
     def first(self, **kwargs: Any) -> Optional[TraceRecord]:
         matches = self.query(**kwargs)
@@ -80,6 +271,116 @@ class TraceLog:
     def last(self, **kwargs: Any) -> Optional[TraceRecord]:
         matches = self.query(**kwargs)
         return matches[-1] if matches else None
+
+    # -- causal spans --------------------------------------------------------
+    def span(self, source: str, kind: str, *,
+             parent: Union[Span, int, None] = None,
+             **details: Any) -> Span:
+        """Open a span. With no explicit ``parent`` it nests under the
+        ambient span (the innermost active scope on the environment), or is
+        a root if none is active. Pass ``parent=`` explicitly when causality
+        crosses a process boundary."""
+        if parent is None:
+            scope = self._scope
+            parent_id = scope[-1].span_id if scope else None
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            parent_id = int(parent)
+        sp = Span(next_span_id(), parent_id, source, kind, self.env.now,
+                  details=details)
+        self.spans[sp.span_id] = sp
+        return sp
+
+    def close_span(self, span: Span, status: str = "ok",
+                   **details: Any) -> Span:
+        """Close a span at the current simulated time.
+
+        Rejects double closes, and rejects closing a span that is still an
+        *enclosing* ambient scope (close-out-of-order): children must close
+        before their active ancestors.
+        """
+        if span.closed:
+            raise SpanError(f"{span!r} already closed")
+        scope = self._scope
+        if span in scope and scope[-1] is not span:
+            raise SpanError(
+                f"out-of-order close: {span!r} is an enclosing scope of "
+                f"{scope[-1]!r}")
+        span.end = self.env.now
+        span.status = status
+        if details:
+            span.details.update(details)
+        return span
+
+    def span_scope(self, source: str, kind: str, *,
+                   parent: Union[Span, int, None] = None,
+                   status: str = "ok", **details: Any) -> _SpanScope:
+        """Open a span, make it ambient for the enclosed *synchronous*
+        section, and close it on exit (``status="error"`` on exception).
+
+        Never hold a scope across a ``yield``: processes interleave, and the
+        ambient stack is shared by the whole environment.
+        """
+        return _SpanScope(self, self.span(source, kind, parent=parent,
+                                          **details), status)
+
+    def activate(self, span: Span) -> _Activation:
+        """Make an existing open span ambient for a synchronous section
+        without closing it on exit — for long-lived spans (a deployment in
+        flight) that attribute work across several synchronous bursts."""
+        return _Activation(self._scope, span)
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self.env.current_span
+
+    # -- span queries --------------------------------------------------------
+    def get_span(self, span_id: int) -> Optional[Span]:
+        return self.spans.get(span_id)
+
+    def find_spans(self, *, source: Optional[str] = None,
+                   kind: Optional[str] = None,
+                   status: Optional[str] = None) -> list[Span]:
+        return [
+            s for s in self.spans.values()
+            if (source is None or s.source == source)
+            and (kind is None or s.kind == kind)
+            and (status is None or s.status == status)
+        ]
+
+    def open_spans(self) -> list[Span]:
+        """Spans never closed — orphans, when the simulation is over."""
+        return [s for s in self.spans.values() if not s.closed]
+
+    def children(self, span: Union[Span, int]) -> list[Span]:
+        parent_id = span.span_id if isinstance(span, Span) else span
+        return [s for s in self.spans.values() if s.parent_id == parent_id]
+
+    def ancestors(self, span: Union[Span, int]) -> list[Span]:
+        """Parent chain, nearest first. Stops at a root or at a parent id
+        recorded in a different log."""
+        sp = self.spans.get(span.span_id if isinstance(span, Span) else span)
+        out: list[Span] = []
+        while sp is not None and sp.parent_id is not None:
+            sp = self.spans.get(sp.parent_id)
+            if sp is None:
+                break
+            out.append(sp)
+        return out
+
+    def is_ancestor(self, ancestor: Union[Span, int],
+                    descendant: Union[Span, int]) -> bool:
+        ancestor_id = (ancestor.span_id if isinstance(ancestor, Span)
+                       else ancestor)
+        return any(s.span_id == ancestor_id
+                   for s in self.ancestors(descendant))
+
+    def span_records(self, span: Union[Span, int]) -> list[TraceRecord]:
+        """Flat records attributed to a span (emitted inside its scope)."""
+        self._refresh_indices()
+        span_id = span.span_id if isinstance(span, Span) else span
+        return list(self._by_span.get(span_id, _EMPTY))
 
 
 class TimeSeries:
@@ -168,14 +469,24 @@ class TimeSeries:
 
     def sample(self, start: float, end: float, period: float
                ) -> list[tuple[float, float]]:
-        """Regular-grid samples of the step function (for plotting/printing)."""
+        """Regular-grid samples of the step function (for plotting/printing).
+
+        Grid points are computed as ``start + i * period`` rather than by
+        accumulating ``t += period``: repeated float addition drifts (after
+        1e6 steps of 0.1 the accumulated grid is off by whole samples),
+        whereas one multiply per point keeps every grid point exact to one
+        rounding.
+        """
         if period <= 0:
             raise ValueError("period must be positive")
         out = []
-        t = start
-        while t <= end:
+        i = 0
+        while True:
+            t = start + i * period
+            if t > end:
+                break
             out.append((t, self.value_at(t)))
-            t += period
+            i += 1
         return out
 
 

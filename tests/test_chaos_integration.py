@@ -7,8 +7,6 @@ correctly"), the elastic application rides through host failures, and the
 system converges back to a consistent, constraint-clean state.
 """
 
-import pytest
-
 from repro.cloud import Host, HypervisorTimings, ImageRepository, VEEM, VMState
 from repro.core.manifest import ManifestBuilder
 from repro.core.service_manager import ServiceManager

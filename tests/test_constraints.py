@@ -14,7 +14,6 @@ from repro.core.constraints import (
     ConstraintSuite,
     ElasticityEnforcementValidator,
     InstanceBoundsInvariant,
-    ProvisioningDomain,
     Violation,
     deployment_suite,
     generate_instruments,

@@ -22,7 +22,6 @@ from repro.cloud import (
 from repro.core.manifest import ManifestBuilder
 from repro.core.service_manager import ServiceManager
 from repro.grid import (
-    CondorExecDriver,
     CondorScheduler,
     Job,
     JobState,

@@ -15,14 +15,12 @@ from repro.core.manifest import (
     ManifestBuilder,
     ManifestValidationError,
     Severity,
-    SitePlacement,
     StartupEntry,
     Trigger,
     VEEMOperation,
     VirtualDisk,
     VirtualHardware,
     VirtualSystem,
-    ensure_valid,
     parse_action,
     parse_expression,
     validate_manifest,

@@ -6,7 +6,6 @@ from repro.cloud import Host, HypervisorTimings, ImageRepository, VEEM, VMState
 from repro.core.manifest import (
     ManifestBuilder,
     ManifestValidationError,
-    parse_action,
 )
 from repro.core.service_manager import (
     ManifestParser,
@@ -15,10 +14,8 @@ from repro.core.service_manager import (
     ServiceManager,
 )
 from repro.monitoring import (
-    AttributeType,
     Measurement,
     MonitoringAgent,
-    MulticastChannel,
 )
 from repro.sim import Environment
 

@@ -12,7 +12,7 @@ from repro.core.manifest import (
     Severity,
 )
 from repro.core.sla import SLAMonitor
-from repro.monitoring import Measurement, MulticastChannel
+from repro.monitoring import Measurement
 from repro.sim import Environment
 
 
