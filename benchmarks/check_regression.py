@@ -34,6 +34,7 @@ HEADLINE = (
     "test_codec_header_peek",
     "test_control_plane_churn",
     "test_obs_overhead",
+    "test_kernel_10m_events",
 )
 
 #: Recorded in the baseline for context (e.g. the linear-scan routing mode
@@ -41,6 +42,13 @@ HEADLINE = (
 #: reference paths are not optimisation targets.
 INFORMATIONAL = (
     "test_broker_fanout_reference_1k",
+)
+
+#: Memory metrics gated alongside the medians: (bench name, extra_info key).
+#: Benches record them via ``benchmark.extra_info``; a footprint regression
+#: would not move any median, so these are compared explicitly.
+MEMORY = (
+    ("test_scale_rss_per_1k_vms", "rss_mb_per_1k_vms"),
 )
 
 THRESHOLD = 0.25
@@ -60,12 +68,34 @@ def load_medians(path):
     return medians
 
 
+def load_memory(path):
+    """Memory metrics as {(bench name, metric key): value}."""
+    with open(path) as fh:
+        data = json.load(fh)
+    metrics = {}
+    if "benchmarks" in data and isinstance(data["benchmarks"], list):
+        for b in data["benchmarks"]:
+            for key, value in b.get("extra_info", {}).items():
+                if isinstance(value, (int, float)):
+                    metrics[(b["name"], key)] = float(value)
+        return metrics
+    for name, entry in data.get("memory", {}).items():
+        for key, value in entry.items():
+            metrics[(name, key)] = float(value)
+    return metrics
+
+
 def main(argv):
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 2
     current = load_medians(argv[0])
+    current_memory = load_memory(argv[0])
     if "--update" in argv[1:]:
+        memory = {}
+        for name, key in MEMORY:
+            if (name, key) in current_memory:
+                memory.setdefault(name, {})[key] = current_memory[(name, key)]
         slim = {
             "comment": "medians in seconds; refresh via check_regression.py "
                        "--update after intentional perf changes",
@@ -73,11 +103,13 @@ def main(argv):
                          for name in HEADLINE},
             "informational": {name: {"median_s": current[name]}
                               for name in INFORMATIONAL if name in current},
+            "memory": memory,
         }
         BASELINE_PATH.write_text(json.dumps(slim, indent=2) + "\n")
         print(f"baseline updated: {BASELINE_PATH}")
         return 0
     baseline = load_medians(BASELINE_PATH)
+    baseline_memory = load_memory(BASELINE_PATH)
     failed = False
     for name in HEADLINE:
         if name not in current:
@@ -97,6 +129,25 @@ def main(argv):
             failed = True
         print(f"{status:<10}{name}: baseline {base * 1e6:.1f}us, "
               f"current {now * 1e6:.1f}us ({delta:+.1%})")
+    for name, key in MEMORY:
+        if (name, key) not in current_memory:
+            print(f"MISSING  {name}[{key}]: not in {argv[0]}")
+            failed = True
+            continue
+        if (name, key) not in baseline_memory:
+            print(f"NO-BASELINE {name}[{key}]: add it to "
+                  f"{BASELINE_PATH.name}")
+            failed = True
+            continue
+        base = baseline_memory[(name, key)]
+        now = current_memory[(name, key)]
+        delta = (now - base) / base
+        status = "OK"
+        if delta > THRESHOLD:
+            status = "REGRESSED"
+            failed = True
+        print(f"{status:<10}{name}[{key}]: baseline {base:.1f}, "
+              f"current {now:.1f} ({delta:+.1%})")
     return 1 if failed else 0
 
 

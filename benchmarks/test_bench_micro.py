@@ -350,3 +350,105 @@ def test_control_plane_churn(benchmark):
         return control.counters["released"]
 
     assert benchmark(churn) == 8
+
+
+def test_kernel_10m_events(benchmark):
+    """Pure-timeout churn, 10M events, at the scale harness's signature
+    shape: synchronized waves of same-instant timeouts (every monitoring
+    agent in a federation ticks on the same 60 s grid).
+
+    The headline metric is drain-side dispatch throughput — events/sec
+    with the (timed-separately) creation loops subtracted — measured on
+    the calendar-queue kernel and compared against the heap oracle running
+    one identical wave. Same-instant waves are the heap's worst case
+    (every sift compares tied ``(time, priority)`` prefixes) and the
+    wheel's best (one bucket adoption, then pure deque pops), which is
+    precisely the workload the kernel was rebuilt for.
+    """
+    import gc
+    from time import perf_counter
+
+    def churn(reference, waves, per_wave):
+        env = Environment(reference=reference)
+        state = {"wave": 0, "create_s": 0.0}
+        timeout = env.timeout
+
+        def next_wave(_event):
+            w = state["wave"]
+            if w >= waves:
+                return
+            state["wave"] = w + 1
+            t0 = perf_counter()
+            for _ in range(per_wave - 1):
+                timeout(60.0)
+            tail = timeout(60.0)
+            tail.callbacks.append(next_wave)
+            state["create_s"] += perf_counter() - t0
+
+        first = env.timeout(0.0)
+        first.callbacks.append(next_wave)
+        # One wave of events is live at a time (memory-bounded); GC off so
+        # collector pauses don't land on either kernel's account.
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = perf_counter()
+            env.run()
+            wall = perf_counter() - t0
+        finally:
+            if was_enabled:
+                gc.enable()
+        return env.events_processed, wall, state["create_s"]
+
+    def wheel_churn():
+        return churn(False, waves=10, per_wave=1_000_000)
+
+    events, wall, create_s = benchmark.pedantic(
+        wheel_churn, rounds=1, iterations=1)
+    heap_events, heap_wall, heap_create_s = churn(
+        True, waves=1, per_wave=1_000_000)
+
+    drain_eps = events / (wall - create_s)
+    heap_drain_eps = heap_events / (heap_wall - heap_create_s)
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["drain_events_per_sec"] = round(drain_eps)
+    benchmark.extra_info["heap_drain_events_per_sec"] = round(heap_drain_eps)
+    benchmark.extra_info["end_to_end_events_per_sec"] = round(events / wall)
+    benchmark.extra_info["heap_end_to_end_events_per_sec"] = round(
+        heap_events / heap_wall)
+    benchmark.extra_info["drain_speedup"] = round(
+        drain_eps / heap_drain_eps, 2)
+    assert events > 10_000_000
+    assert drain_eps >= 5 * heap_drain_eps
+
+
+def test_scale_rss_per_1k_vms(benchmark):
+    """Peak RSS per 1k peak VMs of a small federation scale run.
+
+    Runs ``python -m repro scale`` in a fresh interpreter (so the figure is
+    not polluted by whatever this process has already allocated) and parses
+    the footprint line of the report. Gated as a memory metric by
+    ``check_regression.py`` — a footprint regression won't move any median.
+    """
+    import os
+    import re
+    import subprocess
+    import sys
+
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    cmd = [sys.executable, "-m", "repro", "scale", "--sites", "4",
+           "--services", "1000", "--hours", "0.5", "--seed", "2010"]
+
+    def run():
+        out = subprocess.run(
+            cmd, capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": src})
+        match = re.search(r"\(([0-9.]+) MB per 1k VMs\)", out.stdout)
+        assert match, out.stdout
+        return float(match.group(1))
+
+    rss_mb_per_1k = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["rss_mb_per_1k_vms"] = rss_mb_per_1k
+    assert rss_mb_per_1k > 0

@@ -27,6 +27,12 @@ Commands
     rest fairly, and drains the queue as services are released. A second
     phase deploys an elastic service and shows the causal span chain from
     a KPI publication to the VEE it caused, plus the time-constraint audit.
+``scale [--sites N] [--services M] [--hours H] [--reference]``
+    Run the federation scale harness: an N-site federation under the
+    control plane, M services with SAP-style session tides, H simulated
+    hours; prints events/sec, wall-clock per simulated hour, and peak RSS
+    per 1k VMs. ``--reference`` runs the same workload on the heap oracle
+    kernel for comparison.
 ``obs-report [--chrome FILE] [--jsonl FILE]``
     Run the same scenario and print the observability report: the span
     tree, a Prometheus-style metrics dump, and the §4.2.3 time-constraint
@@ -327,6 +333,20 @@ def _cmd_control_demo(args) -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    from .experiments.scale import ScaleConfig, run_scale
+
+    cfg = ScaleConfig(
+        sites=args.sites, services=args.services, hours=args.hours,
+        tenants=args.tenants, reference=args.reference,
+        random_seed=args.seed, monitor_period_s=args.monitor_period,
+        elastic_fraction=args.elastic_fraction,
+    )
+    report = run_scale(cfg, progress=lambda m: print(m, file=sys.stderr))
+    print(report.render())
+    return 0
+
+
 def _cmd_obs_report(args) -> int:
     """Run the control-demo scenario and print the observability report:
     span tree, metrics dump, and the §4.2.3 time-constraint audit."""
@@ -428,6 +448,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quota", type=int, default=3,
                    help="max concurrent services per tenant")
     p.set_defaults(func=_cmd_control_demo)
+
+    p = sub.add_parser("scale",
+                       help="federation scale harness: N sites, M services, "
+                            "H simulated hours (DESIGN §13)")
+    p.add_argument("--sites", type=int, default=100)
+    p.add_argument("--services", type=int, default=10_000)
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--tenants", type=int, default=8)
+    p.add_argument("--monitor-period", type=float, default=60.0,
+                   help="session-KPI publication period (s)")
+    p.add_argument("--elastic-fraction", type=float, default=0.25,
+                   help="fraction of services whose burst trips scale-up")
+    p.add_argument("--seed", type=int, default=2010)
+    p.add_argument("--reference", action="store_true",
+                   help="run on the heap oracle kernel instead of the wheel")
+    p.set_defaults(func=_cmd_scale)
 
     p = sub.add_parser("obs-report",
                        help="observability report over the control-demo "

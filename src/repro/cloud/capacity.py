@@ -171,7 +171,23 @@ def plan_capacity(manifests: list[ServiceManifest],
 
 class AdmissionController:
     """Guaranteed-capacity admission: every admitted service must be able to
-    reach its maximum instances simultaneously on the pool."""
+    reach its maximum instances simultaneously on the pool.
+
+    Admission decisions are exact (a full first-fit-decreasing repack of
+    everything admitted plus the candidate), but the scale harness calls
+    them thousands of times per simulated minute, so three caches sit in
+    front of the packing — none of them changes a single verdict:
+
+    * aggregate ceiling totals give an O(1) *necessary* screen — if total
+      demand exceeds the pool's raw capacity, no packing can fit and the
+      repack is skipped;
+    * the last ``can_admit`` verdict is memoised by manifest identity and a
+      mutation version, collapsing the ``can_admit`` → ``admit`` double
+      pack and the control plane's repeated probes of a saturated pool;
+    * :attr:`committed_plan` (and so :attr:`headroom`, the federated
+      ranking key read per submission per site) is cached until the
+      admitted set changes.
+    """
 
     def __init__(self, pool_hosts: int, host: Optional[HostType] = None):
         if pool_hosts <= 0:
@@ -179,10 +195,30 @@ class AdmissionController:
         self.pool_hosts = pool_hosts
         self.host = host or HostType()
         self.admitted: list[ServiceManifest] = []
+        #: Bumped on every admit/release; guards all caches below.
+        self._version = 0
+        self._ceiling_cpu = 0.0
+        self._ceiling_mem = 0.0
+        self._committed: Optional[tuple[int, CapacityPlan]] = None
+        self._last_check: Optional[tuple[ServiceManifest, int, bool]] = None
 
     def can_admit(self, manifest: ServiceManifest) -> bool:
-        plan = plan_capacity(self.admitted + [manifest], self.host)
-        return plan.hosts_for_ceiling <= self.pool_hosts
+        memo = self._last_check
+        if (memo is not None and memo[0] is manifest
+                and memo[1] == self._version):
+            return memo[2]
+        cpu, mem = demand_envelope(manifest).totals("ceiling")
+        if (self._ceiling_mem + mem
+                > self.host.memory_mb * self.pool_hosts + 1e-6
+                or self._ceiling_cpu + cpu
+                > self.host.cpu_cores * self.pool_hosts + 1e-6):
+            # Aggregate demand alone overflows the pool: no packing exists.
+            verdict = False
+        else:
+            plan = plan_capacity(self.admitted + [manifest], self.host)
+            verdict = plan.hosts_for_ceiling <= self.pool_hosts
+        self._last_check = (manifest, self._version, verdict)
+        return verdict
 
     def admit(self, manifest: ServiceManifest) -> None:
         if not self.can_admit(manifest):
@@ -191,13 +227,26 @@ class AdmissionController:
                 f"exceeds the {self.pool_hosts}-host pool"
             )
         self.admitted.append(manifest)
+        cpu, mem = demand_envelope(manifest).totals("ceiling")
+        self._ceiling_cpu += cpu
+        self._ceiling_mem += mem
+        self._version += 1
 
     def release(self, manifest: ServiceManifest) -> None:
         self.admitted.remove(manifest)
+        cpu, mem = demand_envelope(manifest).totals("ceiling")
+        self._ceiling_cpu -= cpu
+        self._ceiling_mem -= mem
+        self._version += 1
 
     @property
     def committed_plan(self) -> CapacityPlan:
-        return plan_capacity(self.admitted, self.host)
+        cached = self._committed
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        plan = plan_capacity(self.admitted, self.host)
+        self._committed = (self._version, plan)
+        return plan
 
     @property
     def headroom(self) -> int:

@@ -135,6 +135,12 @@ class ControlPlane:
         self.series.record("queue.depth", 0)
         self._seq = itertools.count(1)
         self._by_service: dict[str, ProvisioningRequest] = {}
+        # Solo-plan cache for the can-never-fit screen: hosts_for_ceiling of
+        # a manifest packed alone onto a host type (None = an instance
+        # exceeds the host outright). Keyed by manifest identity — safe
+        # because every screened manifest is retained in ``self.requests``
+        # before the screen runs, so ids are never recycled.
+        self._solo_ceilings: dict[tuple, Optional[int]] = {}
 
     # ------------------------------------------------------------------
     # Assembly
@@ -337,33 +343,46 @@ class ControlPlane:
     def _fits_somewhere_empty(self, request: ProvisioningRequest) -> bool:
         """Could the request fit *some* eligible site with nothing else
         admitted? False means waiting can never help."""
+        cache = self._solo_ceilings
         for site in self.sites:
             if not self._eligible(site, request.manifest):
                 continue
+            key = (id(request.manifest), site.admission.host)
             try:
-                plan = plan_capacity([request.manifest], site.admission.host)
-            except CapacityError:
-                continue    # an instance exceeds this site's host type
-            if plan.hosts_for_ceiling <= site.admission.pool_hosts:
+                hosts = cache[key]
+            except KeyError:
+                try:
+                    hosts = plan_capacity([request.manifest],
+                                          site.admission.host
+                                          ).hosts_for_ceiling
+                except CapacityError:
+                    # An instance exceeds this site's host type.
+                    hosts = None
+                cache[key] = hosts
+            if hosts is not None and hosts <= site.admission.pool_hosts:
                 return True
         return False
 
     def _best_site(self, request: ProvisioningRequest
                    ) -> Optional[ControlledSite]:
         """Federated selection: eligible sites that can admit the worst
-        case right now, favoured first, then greatest headroom."""
-        candidates = [
-            site for site in self.sites
-            if self._eligible(site, request.manifest)
-            and site.admission.can_admit(request.manifest)
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda s: (
-            self._preference(s, request.manifest),
-            -s.headroom,
-            self.sites.index(s),
-        ))
+        case right now, favoured first, then greatest headroom.
+
+        Sites are ranked *before* the (expensive, full-repack) admission
+        probe and scanned in rank order: because the ranking key does not
+        depend on the probe, the first admitting site is exactly the
+        ``min()`` over all admitting candidates, but saturated low-rank
+        sites are never packed at all."""
+        manifest = request.manifest
+        ranked = sorted(
+            (self._preference(site, manifest), -site.headroom, index, site)
+            for index, site in enumerate(self.sites)
+            if self._eligible(site, manifest)
+        )
+        for _pref, _headroom, _index, site in ranked:
+            if site.admission.can_admit(manifest):
+                return site
+        return None
 
     def _try_admit(self, request: ProvisioningRequest) -> bool:
         """The scheduler's admission callback: quota, then site capacity;

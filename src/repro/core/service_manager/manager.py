@@ -78,11 +78,10 @@ class ServiceManager:
         #: the termination completes, whichever layer initiated the undeploy
         self.on_undeploy: list[
             Callable[[ManagedService, Process], None]] = []
-        # Per-service record counting runs through ONE shared listener with
-        # a dict dispatch — one closure per live service would make every
-        # emit on the shared trace O(live services).
+        # Per-service record counting is subscribed *keyed by service id*:
+        # the log dispatches an emit to at most one manager, instead of
+        # every manager sharing the log scanning every record.
         self._counted: dict[str, ManagedService] = {}
-        self._count_sub = None
 
     def _count_record(self, record) -> None:
         service = self._counted.get(record.details.get("service"))
@@ -139,13 +138,13 @@ class ServiceManager:
             deployment=deployment, tenant=tenant, span=span,
             _suite=deployment_suite(),
         )
-        # Attach the service to the counting listener; the listener itself
-        # is subscribed on first use and detached by undeploy() once the
-        # last service is gone, so long simulations churning services don't
-        # accumulate dead listeners.
+        # Attach the service to the counting listener, keyed by service id:
+        # emits for other services (or other sites sharing this log) never
+        # reach this manager at all. undeploy() detaches the key, so long
+        # simulations churning services don't accumulate dead listeners.
         self._counted[parsed.service_id] = service
-        if self._count_sub is None:
-            self._count_sub = self.trace.subscribe(self._count_record)
+        self.trace.subscribe_keyed("service", parsed.service_id,
+                                   self._count_record)
         self.services[parsed.service_id] = service
         return service
 
@@ -162,9 +161,8 @@ class ServiceManager:
         service.interpreter.stop()
         service.interpreter.detach()
         self._counted.pop(service.service_id, None)
-        if not self._counted and self._count_sub is not None:
-            self._count_sub.cancel()
-            self._count_sub = None
+        self.trace.unsubscribe_keyed("service", service.service_id,
+                                     self._count_record)
         if service.span is not None:
             # The undeploy descends from the deployment it reverses.
             service.lifecycle.term_span = self.trace.span(

@@ -4,7 +4,9 @@
   (dedicated vs. elastic polymorph search);
 * :mod:`~repro.experiments.fig11` — series extraction and text rendering of
   Fig. 11;
-* :mod:`~repro.experiments.weekly` — the §6.1.4 weekly-usage estimate.
+* :mod:`~repro.experiments.weekly` — the §6.1.4 weekly-usage estimate;
+* :mod:`~repro.experiments.scale` — the federation scale harness
+  (``python -m repro scale``).
 """
 
 from .fig11 import Fig11Series, extract_series, render_ascii_chart, render_run
@@ -19,6 +21,7 @@ from .polymorph import (
     run_elastic,
     table3,
 )
+from .scale import ScaleConfig, ScaleReport, run_scale
 from .weekly import SearchRecord, WeeklyConfig, WeeklyResult, run_week
 
 __all__ = [
@@ -35,6 +38,9 @@ __all__ = [
     "run_dedicated",
     "run_elastic",
     "table3",
+    "ScaleConfig",
+    "ScaleReport",
+    "run_scale",
     "SearchRecord",
     "WeeklyConfig",
     "WeeklyResult",

@@ -1,0 +1,309 @@
+"""Federation scale harness: ``python -m repro scale``.
+
+The paper pitches the architecture at *on-demand provisioning for large
+federated clouds*; the acceptance scenarios exercise it at a handful of
+sites. This harness is the scale sweep those claims are judged by: stand up
+an N-site federation through the real :class:`~repro.control.ControlPlane`
+(per-site VEEM, ServiceManager and guaranteed-capacity admission), submit
+tens of thousands of services across weighted tenants, drive every service
+with an SAP-style session profile published through its
+:class:`~repro.monitoring.MonitoringAgent` (bursts trip the manifest's
+elasticity rules, so the federation scales VMs up and back down), and
+report what the run cost:
+
+* **events/sec** — kernel events processed over wall-clock time;
+* **wall-clock per simulated hour** — how much real time one simulated
+  hour costs at this scale;
+* **peak RSS per 1k peak VMs** — the memory footprint the federation's
+  state (hosts, VMs, services, series, trace) imposes, normalised by
+  fleet size.
+
+Everything is deterministic under ``random_seed``: session profiles come
+from :class:`~repro.sim.RandomStreams`, and the kernel replays identically
+(``reference=True`` runs the same workload on the heap oracle kernel).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cloud import Host, HypervisorTimings, ImageRepository, VEEM
+from ..control import Admitted, ControlPlane, Queued
+from ..core.manifest import ManifestBuilder
+from ..monitoring import MonitoringAgent
+from ..sim import Environment, RandomStreams
+
+__all__ = ["ScaleConfig", "ScaleReport", "run_scale"]
+
+#: KPI the session drivers publish and the elasticity rules react to.
+SESSIONS_KPI = "scale.app.sessions"
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Shape of one federation scale run."""
+
+    sites: int = 100
+    services: int = 10_000
+    hours: float = 1.0
+    tenants: int = 8
+    #: run the workload on the heap oracle kernel instead of the wheel
+    reference: bool = False
+    random_seed: int = 2010
+
+    #: session-KPI publication period (per service)
+    monitor_period_s: float = 60.0
+    #: live-VM census period (peak-fleet tracking)
+    sample_period_s: float = 60.0
+    #: fraction of services whose burst exceeds the scale-up threshold
+    elastic_fraction: float = 0.25
+
+    #: homogeneous host/VM shapes (the §6.1.2 testbed host by default)
+    host_cpu: float = 4.0
+    host_memory_mb: float = 8192.0
+    vm_cpu: float = 1.0
+    vm_memory_mb: float = 1024.0
+    image_mb: float = 64.0
+    max_instances: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sites <= 0 or self.services <= 0 or self.hours <= 0:
+            raise ValueError("sites, services and hours must be positive")
+        if self.tenants <= 0:
+            raise ValueError("need at least one tenant")
+        if not 0.0 <= self.elastic_fraction <= 1.0:
+            raise ValueError("elastic_fraction must be in [0, 1]")
+
+    @property
+    def duration_s(self) -> float:
+        return self.hours * 3600.0
+
+    @property
+    def services_per_site(self) -> int:
+        return math.ceil(self.services / self.sites)
+
+    @property
+    def hosts_per_site(self) -> int:
+        """Size each pool so the whole submission's *ceiling* is admissible
+        (guaranteed capacity): every service may reach ``max_instances``."""
+        per_host = min(int(self.host_cpu // self.vm_cpu),
+                       int(self.host_memory_mb // self.vm_memory_mb))
+        if per_host < 1:
+            raise ValueError("VM shape exceeds the host shape")
+        ceiling = self.services_per_site * self.max_instances
+        return math.ceil(ceiling / per_host) + 1
+
+
+@dataclass
+class ScaleReport:
+    """What the run did and what it cost."""
+
+    sites: int
+    services: int
+    hours: float
+    reference: bool
+    admitted: int
+    queued: int
+    rejected: int
+    peak_vms: int
+    peak_queue_depth: int
+    events_processed: int
+    dead_skipped: int
+    wall_s: float
+    peak_rss_kb: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events_processed / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def wall_s_per_sim_hour(self) -> float:
+        return self.wall_s / self.hours
+
+    @property
+    def rss_mb_per_1k_vms(self) -> float:
+        """Peak RSS (whole process, interpreter included) per 1000 VMs of
+        peak fleet — a coarse, comparable footprint figure."""
+        if self.peak_vms <= 0:
+            return 0.0
+        return (self.peak_rss_kb / 1024.0) / (self.peak_vms / 1000.0)
+
+    def render(self) -> str:
+        kernel = "heap (reference)" if self.reference else "timer wheel"
+        lines = [
+            f"federation:        {self.sites} site(s), "
+            f"{self.services} service(s), {self.hours:g} simulated hour(s)",
+            f"kernel:            {kernel}",
+            f"admitted:          {self.admitted} "
+            f"(queued {self.queued}, rejected {self.rejected})",
+            f"peak VMs:          {self.peak_vms}",
+            f"peak queue depth:  {self.peak_queue_depth}",
+            f"events processed:  {self.events_processed} "
+            f"({self.dead_skipped} dead entries skipped)",
+            f"events/sec:        {self.events_per_sec:,.0f}",
+            f"wall-clock/sim-h:  {self.wall_s_per_sim_hour:.2f} s",
+            f"peak RSS:          {self.peak_rss_kb / 1024:.1f} MB "
+            f"({self.rss_mb_per_1k_vms:.1f} MB per 1k VMs)",
+        ]
+        return "\n".join(lines)
+
+
+def _scale_manifest(cfg: ScaleConfig):
+    """One shared SAP-style manifest: a session-serving ``app`` tier whose
+    session KPI drives a scale-up/scale-down rule pair. Sharing the object
+    across submissions is deliberate — admission memoisation keys on
+    manifest identity."""
+    b = ManifestBuilder("sap-session-svc")
+    b.component("app", image_mb=cfg.image_mb, cpu=cfg.vm_cpu,
+                memory_mb=cfg.vm_memory_mb,
+                initial=1, minimum=1, maximum=cfg.max_instances)
+    b.kpi("app", "app", SESSIONS_KPI,
+          frequency_s=cfg.monitor_period_s, default=30)
+    b.rule("up", f"@{SESSIONS_KPI} > 80", "deployVM(app)",
+           time_constraint_ms=120_000, cooldown_s=4 * cfg.monitor_period_s)
+    # The rules' time constraints set the interpreter's evaluation period
+    # (min/2): at 120 s both, each service evaluates once per simulated
+    # minute instead of every 2.5 s — the difference between a harness that
+    # measures the kernel and one that measures the rule engine.
+    b.rule("down", f"@{SESSIONS_KPI} < 20", "undeployVM(app)",
+           time_constraint_ms=120_000, cooldown_s=4 * cfg.monitor_period_s)
+    return b.build()
+
+
+def _session_driver(env, state, start_s, ramp: tuple[int, ...],
+                    hold_s: float, quiet_s: float, drain_level: int):
+    """SAP-style session tide for one service: ramp up in steps, hold the
+    peak, drain (a service that scaled up drains below the scale-down
+    threshold, releasing its extra VM), then settle back to the baseline."""
+    yield env.timeout(start_s)
+    for level in ramp:
+        state["sessions"] = level
+        yield env.timeout(hold_s / len(ramp))
+    state["sessions"] = drain_level
+    yield env.timeout(quiet_s)
+    state["sessions"] = 30          # baseline: between both thresholds
+
+
+def _vm_census(env, veems, peak, period_s):
+    """Periodic live-VM census across every site; tracks the peak fleet."""
+    while True:
+        total = 0
+        for veem in veems:
+            for vm in veem.vms.values():
+                if vm.is_active:
+                    total += 1
+        if total > peak["vms"]:
+            peak["vms"] = total
+        yield env.timeout(period_s)
+
+
+def run_scale(cfg: Optional[ScaleConfig] = None, *,
+              progress=None) -> ScaleReport:
+    """Run one federation scale sweep and measure it."""
+    cfg = cfg or ScaleConfig()
+    say = progress or (lambda _msg: None)
+    try:
+        import resource as _resource
+    except ImportError:                     # non-POSIX: report 0
+        _resource = None
+
+    wall_start = time.perf_counter()
+    env = Environment(reference=cfg.reference)
+    rng = RandomStreams(cfg.random_seed).stream("scale")
+    control = ControlPlane(env)
+    timings = HypervisorTimings(define_s=1.0, boot_s=10.0, shutdown_s=2.0)
+
+    say(f"building {cfg.sites} site(s) × {cfg.hosts_per_site} host(s) ...")
+    veems = []
+    for s in range(cfg.sites):
+        veem = VEEM(env, name=f"site-{s}", trace=control.trace,
+                    repository=ImageRepository(bandwidth_mb_per_s=1000.0))
+        for h in range(cfg.hosts_per_site):
+            veem.add_host(Host(env, f"site-{s}-h{h}",
+                               cpu_cores=cfg.host_cpu,
+                               memory_mb=cfg.host_memory_mb,
+                               timings=timings))
+        veems.append(veem)
+        control.add_site(f"site-{s}", veem)
+    for t in range(cfg.tenants):
+        control.register_tenant(f"tenant-{t}", weight=1 + t % 3)
+
+    manifest = _scale_manifest(cfg)
+    say(f"submitting {cfg.services} service(s) "
+        f"across {cfg.tenants} tenant(s) ...")
+    admitted = queued = rejected = 0
+    admitted_requests = []
+    for i in range(cfg.services):
+        out = control.submit(f"tenant-{i % cfg.tenants}", manifest,
+                             service_id=f"svc-{i}")
+        if isinstance(out, Admitted):
+            admitted += 1
+            admitted_requests.append(out.request)
+        elif isinstance(out, Queued):
+            queued += 1
+        else:
+            rejected += 1
+
+    # Session tides: every service gets one burst; a seeded fraction bursts
+    # past the scale-up threshold and grows its app tier until the tide
+    # drains. Profiles are drawn deterministically from the seeded stream.
+    duration = cfg.duration_s
+    states = []
+    for i, request in enumerate(admitted_requests):
+        state = {"sessions": 30}
+        states.append(state)
+        elastic = rng.random() < cfg.elastic_fraction
+        peak_sessions = (int(rng.uniform(100, 150)) if elastic
+                         else int(rng.uniform(40, 70)))
+        start_s = rng.uniform(0.05, 0.4) * duration
+        hold_s = rng.uniform(0.15, 0.3) * duration
+        ramp = (peak_sessions // 2, peak_sessions)
+        # Only services that burst past the scale-up threshold drain below
+        # the scale-down threshold afterwards; a service already at its
+        # minimum has nothing to release, and parking it under the
+        # threshold would just no-op the down rule every evaluation.
+        drain_level = 10 if elastic else 30
+        env.process(
+            _session_driver(env, state, start_s, ramp, hold_s,
+                            quiet_s=6 * cfg.monitor_period_s,
+                            drain_level=drain_level),
+            name=f"sessions:{request.service_id}")
+
+    say("deploying and wiring monitoring agents ...")
+    # Let the initial fleet deploy, then attach one agent per service so
+    # the KPI stream flows through each site's monitoring network.
+    env.run(until=60.0)
+    for request, state in zip(admitted_requests, states):
+        if request.service is None:
+            continue
+        site = next(s for s in control.sites if s.name == request.site)
+        agent = MonitoringAgent(env, service_id=request.service_id,
+                                component="app",
+                                network=site.manager.network)
+        agent.expose(SESSIONS_KPI, lambda s=state: s["sessions"],
+                     frequency_s=cfg.monitor_period_s, units="sessions")
+
+    peak = {"vms": 0}
+    env.process(_vm_census(env, veems, peak, cfg.sample_period_s),
+                name="vm-census")
+
+    say(f"running {cfg.hours:g} simulated hour(s) ...")
+    env.run(until=duration)
+
+    wall_s = time.perf_counter() - wall_start
+    peak_rss_kb = (_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+                   if _resource is not None else 0)
+    depth_series = control.series["queue.depth"]
+    return ScaleReport(
+        sites=cfg.sites, services=cfg.services, hours=cfg.hours,
+        reference=cfg.reference,
+        admitted=admitted, queued=queued, rejected=rejected,
+        peak_vms=peak["vms"],
+        peak_queue_depth=int(depth_series.maximum()),
+        events_processed=env.events_processed,
+        dead_skipped=env.dead_skipped,
+        wall_s=wall_s, peak_rss_kb=int(peak_rss_kb),
+    )

@@ -2,7 +2,7 @@
 
 Everything in this reproduction — hosts, hypervisors, the VEEM, the Service
 Manager's rule engine, monitoring probes and the Condor-like grid — runs on
-this kernel. It provides a priority-queue event loop with generator-based
+this kernel. It provides a calendar-queue event loop with generator-based
 processes, in the style of SimPy but self-contained.
 
 Design notes
@@ -12,14 +12,32 @@ Design notes
 * Processes are Python generators that ``yield`` *waitables*: :class:`Timeout`,
   :class:`Event`, :class:`Process` (join), :class:`AnyOf`/:class:`AllOf`
   combinators, or acquisition requests from :mod:`repro.sim.resources`.
-* Event ordering is deterministic: ties on the timestamp are broken by a
-  monotonically increasing sequence number, so a seeded run always replays
-  identically. This matters for reproducible experiments (Fig. 11 traces).
+* The scheduler is a calendar queue (a degenerate one-level timer wheel keyed
+  by exact timestamps): events land in a per-timestamp FIFO bucket and a small
+  heap orders only the *distinct* timestamps. Provisioning workloads are
+  heavily biased toward short delays and same-instant cascades — thousands of
+  events share each timestamp — so the heap stays tiny while the per-event
+  cost collapses to a list append. While the drain loop is inside a
+  timestamp, zero-delay events are appended straight onto the live batch
+  (the *cascade batcher*): an event chain at one instant costs one queue
+  transaction instead of a heap push/pop per link.
+* Event ordering is deterministic and identical to a binary-heap scheduler
+  ordered by ``(time, priority, seq)``: buckets are split per priority
+  (URGENT drains before NORMAL at each timestamp) and appends happen in
+  creation order, so FIFO bucket order *is* seq order without materialising a
+  sequence number. ``Environment(reference=True)`` builds the original heap
+  kernel — kept as a differential oracle; seeded runs replay identically on
+  both.
+* Cancellation is lazy: an abandoned event (an interrupted process's old
+  timeout, an ``AnyOf`` loser) is marked ``dead`` and skipped when its bucket
+  drains, rather than being dug out of the queue. Skips are counted in
+  ``kernel.events.dead_skipped``.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -82,7 +100,7 @@ class Event:
     no slots and so keep an instance ``__dict__`` for their extra fields.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "dead")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -92,6 +110,9 @@ class Event:
         #: If a failed event is never waited on, its exception would be lost;
         #: the kernel re-raises it at the end of the run unless ``defused``.
         self.defused = False
+        #: Lazily cancelled: skipped (and counted) at dispatch if no
+        #: callbacks remain. See :meth:`cancel`.
+        self.dead = False
 
     # -- state ---------------------------------------------------------------
     @property
@@ -143,6 +164,17 @@ class Event:
         self._value = event._value
         self.env._schedule(self)
 
+    def cancel(self) -> None:
+        """Abandon the event: mark it dead so the drain loop can skip it.
+
+        A dead event stays queued until its timestamp is reached; if no
+        callbacks remain when it pops, the kernel skips the dispatch (counted
+        in ``kernel.events.dead_skipped``). Attaching a callback afterwards
+        revives it — cancellation is lazy, never destructive. A cancelled
+        failed event is treated as defused.
+        """
+        self.dead = True
+
     def __repr__(self) -> str:
         state = (
             "processed" if self.processed
@@ -153,21 +185,96 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    The constructor hand-inlines both :meth:`Event.__init__` and the default
+    kernel's bucket insert: timeout creation is the single hottest allocation
+    site in the harness (one per probe tick, per retry, per rule cooldown).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self.defused = False
+        self.dead = False
+        self.delay = delay
+        if env.__class__ is Environment:
+            if not delay and env._draining:
+                env._live_n.append(self)
+            else:
+                t = env._now + delay
+                buckets = env._buckets
+                bucket = buckets.get(t)
+                if bucket is not None:
+                    bucket.append(self)
+                else:
+                    buckets[t] = [self]
+                    heappush(env._times, t)
+        else:
+            env._schedule(self, delay)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
+
+
+def _make_timeout_factory(env: "Environment") -> Callable[..., Timeout]:
+    """Build the environment's ``timeout(delay, value=None)`` factory.
+
+    A plain closure over the environment rather than a bound method: it
+    allocates the Timeout with ``object.__new__`` and writes the slots
+    directly, skipping both the ``type.__call__`` dispatch and the
+    ``__init__`` wrapper frame — timeout creation is the hottest call in
+    the harness, and this shaves the constant per-call machinery off it.
+    The closure is specialised at environment construction: the default
+    kernel gets the inlined bucket insert, any other kernel routes through
+    its ``_schedule``.
+    """
+    new = object.__new__
+    if env.__class__ is Environment:
+        def timeout(delay: float, value: Any = None) -> Timeout:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            self = new(Timeout)
+            self.env = env
+            self.callbacks = []
+            self._value = value
+            self._ok = True
+            self.defused = False
+            self.dead = False
+            self.delay = delay
+            if not delay and env._draining:
+                env._live_n.append(self)
+            else:
+                t = env._now + delay
+                buckets = env._buckets
+                bucket = buckets.get(t)
+                if bucket is not None:
+                    bucket.append(self)
+                else:
+                    buckets[t] = [self]
+                    heappush(env._times, t)
+            return self
+    else:
+        def timeout(delay: float, value: Any = None) -> Timeout:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            self = new(Timeout)
+            self.env = env
+            self.callbacks = []
+            self._value = value
+            self._ok = True
+            self.defused = False
+            self.dead = False
+            self.delay = delay
+            env._schedule(self, delay)
+            return self
+    return timeout
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -180,7 +287,8 @@ class Process(Event):
     the event value, so ``yield some_process`` implements *join*.
     """
 
-    __slots__ = ("_generator", "name", "_target", "_init_event")
+    __slots__ = ("_generator", "_send", "_resume_cb", "name", "_target",
+                 "_init_event")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None):
@@ -188,6 +296,11 @@ class Process(Event):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         self._generator = generator
+        self._send = generator.send
+        # The bound method is materialised once: parking appends it to an
+        # event's callback list on every yield, and ``obj.method`` otherwise
+        # allocates a fresh bound-method object each evaluation.
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None  # event the process is waiting on
         # Kick off on a zero-delay "initialize" event, at URGENT priority so
@@ -196,7 +309,7 @@ class Process(Event):
         init = Event(env)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         env._schedule(init, priority=Environment.URGENT)
         self._init_event = init
         self._target = init
@@ -212,41 +325,59 @@ class Process(Event):
         legal: the init event (scheduled URGENT) starts the generator first,
         so the interrupt lands on its first yield — throwing into an
         unstarted generator would bypass the process's try/except.
+
+        The victim is unsubscribed from its abandoned wait target at
+        *delivery* time, not here: when interrupting a not-yet-started
+        process the first-yield target does not even exist yet, and a
+        target left subscribed would later resume the process at the wrong
+        yield with a stale value.
         """
         if self.triggered:
             raise SimError(f"{self.name} has already terminated")
-        not_started = self._target is self._init_event
-        if (not not_started and self._target is not None
-                and self._target.callbacks is not None):
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
         # Deliver the interrupt via an immediately-scheduled failed event that
-        # is routed through the process's resume logic.
+        # detaches the abandoned wait, then routes through the resume logic.
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
         event.defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._on_interrupt)
         self.env._schedule(event)
-        if not not_started:
-            self._target = event
 
     # -- internal ------------------------------------------------------------
+    def _on_interrupt(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return      # stale: the process finished before delivery
+        target = self._target
+        if (target is not None and target is not self._init_event
+                and target.callbacks is not None):
+            try:
+                target.callbacks.remove(self._resume_cb)
+            except ValueError:
+                pass
+            else:
+                # The abandoned wait target stays queued; if we were its only
+                # watcher and it is a plain Timeout (can never fail, carries
+                # no side effects), mark it dead so the drain loop skips it.
+                if not target.callbacks and type(target) is Timeout:
+                    target.dead = True
+        self._resume(event)
+
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        # ``self._value is not _PENDING`` is ``triggered`` with the property
+        # descriptor peeled off — this method runs once per event.
+        if self._value is not _PENDING:
             # Stale wakeup: the process finished before this event fired
             # (e.g. an interrupt aimed at a process that completed during
             # its very first resume). Nothing to deliver to.
             if not event._ok:
                 event.defused = True
             return
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = self._send(event._value)
                 else:
                     event.defused = True
                     exc = event._value
@@ -262,22 +393,28 @@ class Process(Event):
                 self._finish(False, exc)
                 break
 
-            if not isinstance(next_event, Event):
+            # Duck-typed in place of ``isinstance(next_event, Event)``: every
+            # Event exposes ``callbacks``, and the miss path (yielding a
+            # non-event) is a programming error where the try's cost is
+            # irrelevant. try/except is free until it throws.
+            try:
+                cbs = next_event.callbacks
+            except AttributeError:
                 exc = SimError(
                     f"process {self.name!r} yielded non-event {next_event!r}"
                 )
                 self._finish(False, exc)
                 break
 
-            if next_event.callbacks is not None:
+            if cbs is not None:
                 # Event still pending/triggered-but-unprocessed: park here.
-                next_event.callbacks.append(self._resume)
+                cbs.append(self._resume_cb)
                 self._target = next_event
                 break
             # Event already processed: loop and deliver its value at once.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
     def _finish(self, ok: bool, value: Any) -> None:
         self._target = None
@@ -312,6 +449,10 @@ class _Condition(Event):
                 self._check(e)
             else:
                 e.callbacks.append(self._check)
+        if self.triggered:
+            # Triggered mid-subscription: events visited after the trigger
+            # still got our callback; detach the losers now.
+            self._discard_pending()
 
     def _collect(self) -> dict[Event, Any]:
         # Use *processed* (callbacks already run), not *triggered*: a Timeout
@@ -321,6 +462,25 @@ class _Condition(Event):
             e: e._value for e in self.events
             if e.processed and e._ok
         }
+
+    def _discard_pending(self) -> None:
+        """Lazy cancellation of losers once the condition's outcome is fixed.
+
+        Only plain Timeouts are detached and dead-marked: a Timeout can never
+        fail, so skipping its dispatch cannot swallow an error the kernel
+        would otherwise raise, and nothing else observes it. Other pending
+        events keep their callback — for them ``_check`` degrades to a no-op.
+        """
+        check = self._check
+        for e in self.events:
+            cbs = e.callbacks
+            if cbs is not None and type(e) is Timeout:
+                try:
+                    cbs.remove(check)
+                except ValueError:
+                    continue
+                if not cbs:
+                    e.dead = True
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
@@ -339,6 +499,7 @@ class AnyOf(_Condition):
             self.fail(event._value)
         else:
             self.succeed(self._collect())
+        self._discard_pending()
 
 
 class AllOf(_Condition):
@@ -352,6 +513,7 @@ class AllOf(_Condition):
         if not event._ok:
             event.defused = True
             self.fail(event._value)
+            self._discard_pending()
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -362,14 +524,19 @@ class AllOf(_Condition):
 # Environment
 # ---------------------------------------------------------------------------
 
-#: Heap entries are plain ``(time, priority, seq, event)`` tuples — tuple
-#: comparison is implemented in C and ``seq`` is unique, so ordering never
-#: reaches the (incomparable) event and heap ops stay cheap.
+#: Reference-kernel heap entries are plain ``(time, priority, seq, event)``
+#: tuples — tuple comparison is implemented in C and ``seq`` is unique, so
+#: ordering never reaches the (incomparable) event and heap ops stay cheap.
 _QueueEntry = tuple[float, int, int, Event]
 
 
 class Environment:
     """The simulation environment: clock plus event queue.
+
+    The default scheduler is a calendar queue (see the module docstring);
+    ``Environment(reference=True)`` builds the original binary-heap kernel
+    instead — bit-identical event ordering, kept as the differential oracle
+    the Hypothesis suite replays seeded runs against.
 
     Example
     -------
@@ -388,17 +555,39 @@ class Environment:
     URGENT = 0
     NORMAL = 1
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_metrics",
-                 "_obs_scope")
+    __slots__ = ("_now", "_buckets", "_urgent", "_times", "_live_n",
+                 "_live_u", "_draining", "_events_done", "_dead_skipped",
+                 "_active_process", "_metrics", "_obs_scope", "timeout")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __new__(cls, initial_time: float = 0.0, reference: bool = False):
+        if reference and cls is Environment:
+            return object.__new__(_ReferenceEnvironment)
+        return object.__new__(cls)
+
+    def __init__(self, initial_time: float = 0.0, reference: bool = False):
         self._now = float(initial_time)
-        self._queue: list[_QueueEntry] = []
-        self._seq = itertools.count().__next__
+        # Calendar queue state. ``_buckets``/``_urgent`` map an exact
+        # timestamp to the FIFO list of events due then (split per priority);
+        # ``_times`` is a heap over the distinct timestamps (it may briefly
+        # hold a duplicate when both priority dicts gain the same key — the
+        # advance step dedupes). ``_live_*`` is the batch currently being
+        # drained; same-instant arrivals append straight onto it.
+        self._buckets: dict[float, list[Event]] = {}
+        self._urgent: dict[float, list[Event]] = {}
+        self._times: list[float] = []
+        self._live_n: deque[Event] = deque()
+        self._live_u: deque[Event] = deque()
+        self._draining = False
+        #: Events dispatched so far; flushed per batch during a drain.
+        self._events_done = 0
+        self._dead_skipped = 0
         self._active_process: Optional[Process] = None
         #: Lazily-built metrics registry (one per environment); see
         #: :attr:`metrics`.
         self._metrics: Optional[Any] = None
+        #: ``env.timeout(delay, value=None)`` — a specialised closure rather
+        #: than a method; see :func:`_make_timeout_factory`.
+        self.timeout = _make_timeout_factory(self)
         #: Ambient span stack: the implicit causal parent for spans and trace
         #: records created synchronously inside a scope. It lives here — not
         #: on any one TraceLog — because causality is a property of the
@@ -418,15 +607,40 @@ class Environment:
         return self._active_process
 
     @property
+    def reference(self) -> bool:
+        """True on the heap-based differential-oracle kernel."""
+        return False
+
+    @property
+    def events_processed(self) -> int:
+        """Total events dispatched (including dead skips).
+
+        Exact whenever the kernel is quiescent; during a drain it trails the
+        live batch by at most the batch length.
+        """
+        return self._events_done
+
+    @property
+    def dead_skipped(self) -> int:
+        """Lazily-cancelled events skipped at dispatch."""
+        return self._dead_skipped
+
+    @property
     def metrics(self):
         """The environment's :class:`~repro.obs.metrics.MetricsRegistry`.
 
         Built on first access so simulations that never touch observability
         pay nothing; imported lazily to keep the kernel dependency-free.
+        The kernel's own counters are exposed as views under ``kernel.*``.
         """
         if self._metrics is None:
             from ..obs.metrics import MetricsRegistry
-            self._metrics = MetricsRegistry()
+            registry = MetricsRegistry()
+            registry.register_view("kernel.events.processed",
+                                   lambda: float(self.events_processed))
+            registry.register_view("kernel.events.dead_skipped",
+                                   lambda: float(self._dead_skipped))
+            self._metrics = registry
         return self._metrics
 
     @property
@@ -438,9 +652,6 @@ class Environment:
     # -- factories -----------------------------------------------------------
     def event(self) -> Event:
         return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:
@@ -455,22 +666,75 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = NORMAL) -> None:
-        heappush(self._queue,
-                 (self._now + delay, priority, self._seq(), event))
+        # Cascade batcher: a zero-delay event scheduled while its own instant
+        # is draining joins the live batch directly — no queue transaction.
+        # FIFO appends preserve the heap kernel's (time, priority, seq) order
+        # because creation order *is* seq order.
+        if not delay and self._draining:
+            (self._live_n if priority else self._live_u).append(event)
+            return
+        t = self._now + delay
+        buckets = self._buckets if priority else self._urgent
+        bucket = buckets.get(t)
+        if bucket is not None:
+            bucket.append(event)
+        else:
+            buckets[t] = [event]
+            heappush(self._times, t)
+
+    def _advance(self) -> bool:
+        """Adopt the next distinct timestamp's buckets as the live batch.
+
+        Returns False when the queue is exhausted. Shared by :meth:`step`;
+        :meth:`run` inlines the same logic in its drain loop. Must only be
+        called with the live batch empty.
+        """
+        times = self._times
+        if not times:
+            return False
+        t = heappop(times)
+        while times and times[0] == t:
+            heappop(times)
+        self._now = t
+        bucket = self._buckets.pop(t, None)
+        if bucket is not None:
+            self._live_n.extend(bucket)
+        bucket = self._urgent.pop(t, None) if self._urgent else None
+        if bucket is not None:
+            self._live_u.extend(bucket)
+        return True
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._live_u or self._live_n:
+            return self._now
+        return self._times[0] if self._times else float("inf")
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimError("empty event queue")
-        self._now, _, _, event = heappop(self._queue)
+        if self._draining:
+            raise SimError("step() is not reentrant with run()")
+        if self._live_u:
+            event = self._live_u.popleft()
+        elif self._live_n:
+            event = self._live_n.popleft()
+        else:
+            if not self._advance():
+                raise SimError("empty event queue")
+            if self._live_u:
+                event = self._live_u.popleft()
+            else:
+                event = self._live_n.popleft()
+        self._events_done += 1
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event.defused:
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
+        elif event.dead:
+            self._dead_skipped += 1
+        elif not event._ok and not event.defused:
             raise event._value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -480,6 +744,8 @@ class Environment:
         the clock would pass it), or an :class:`Event` (run until it fires and
         return its value).
         """
+        if self._draining:
+            raise SimError("run() is not reentrant")
         stop_event: Optional[Event] = None
         stop_time = float("inf")
         if isinstance(until, Event):
@@ -491,23 +757,172 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        # The drain loop is the single hottest path in the harness; it is
-        # step() inlined, with the queue bound locally.
-        queue = self._queue
-        while queue:
-            if stop_event is not None and stop_event.processed:
+        # The drain loop is the single hottest path in the harness: queue
+        # state is bound locally and the common dispatch (one callback, event
+        # ok) is branch-minimal. The dispatch tally is written back in the
+        # finally so an exception (or an until= return) leaves the counters
+        # and queue resumable.
+        times = self._times
+        buckets = self._buckets
+        urgent = self._urgent
+        live_n = self._live_n
+        live_u = self._live_u
+        pop_n = live_n.popleft
+        pop_u = live_u.popleft
+        done = 0
+        dead_skipped = 0
+        self._draining = True
+        try:
+            while True:
+                # ``callbacks is None`` is the processed marker with the
+                # property descriptor peeled off — this check runs per event
+                # whenever a run() awaits an event.
+                if stop_event is not None and stop_event.callbacks is None:
+                    if not stop_event._ok:
+                        raise stop_event._value
+                    return stop_event._value
+                # Urgent first on every pick: an URGENT event scheduled
+                # mid-batch must still beat the remaining NORMAL events of
+                # the same instant, exactly as it would in the heap order.
+                if live_u:
+                    event = pop_u()
+                elif live_n:
+                    event = pop_n()
+                else:
+                    # Batch exhausted: adopt the next timestamp's buckets.
+                    self._events_done += done
+                    done = 0
+                    if not times:
+                        break
+                    t = times[0]
+                    if t > stop_time:
+                        self._now = stop_time
+                        return None
+                    heappop(times)
+                    while times and times[0] == t:
+                        heappop(times)
+                    self._now = t
+                    bucket = buckets.pop(t, None)
+                    if bucket is not None:
+                        live_n.extend(bucket)
+                    bucket = urgent.pop(t, None) if urgent else None
+                    if bucket is not None:
+                        live_u.extend(bucket)
+                    continue
+
+                done += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
+                elif event.dead:
+                    dead_skipped += 1
+                elif not event._ok and not event.defused:
+                    raise event._value
+        finally:
+            self._draining = False
+            self._events_done += done
+            self._dead_skipped += dead_skipped
+
+        if stop_event is not None:
+            if stop_event.processed:
                 if not stop_event._ok:
                     raise stop_event._value
                 return stop_event._value
-            if queue[0][0] > stop_time:
-                self._now = stop_time
-                return None
-            self._now, _, _, event = heappop(queue)
-            callbacks, event.callbacks = event.callbacks, None
+            raise SimError("simulation ended before the awaited event fired")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None
+
+
+class _ReferenceEnvironment(Environment):
+    """The original binary-heap kernel, kept verbatim as an oracle.
+
+    Selected via ``Environment(reference=True)``. Heap entries carry an
+    explicit ``(time, priority, seq)`` key; the differential suite asserts
+    the calendar queue replays its exact event order.
+    """
+
+    __slots__ = ("_queue", "_seq")
+
+    def __init__(self, initial_time: float = 0.0, reference: bool = True):
+        super().__init__(initial_time)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count().__next__
+
+    @property
+    def reference(self) -> bool:
+        return True
+
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = Environment.NORMAL) -> None:
+        heappush(self._queue,
+                 (self._now + delay, priority, self._seq(), event))
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimError("empty event queue")
+        self._now, _, _, event = heappop(self._queue)
+        self._events_done += 1
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
             for callback in callbacks:
                 callback(event)
             if not event._ok and not event.defused:
                 raise event._value
+        elif event.dead:
+            self._dead_skipped += 1
+        elif not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        queue = self._queue
+        done = 0
+        dead_skipped = 0
+        try:
+            while queue:
+                if stop_event is not None and stop_event.processed:
+                    if not stop_event._ok:
+                        raise stop_event._value
+                    return stop_event._value
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                self._now, _, _, event = heappop(queue)
+                done += 1
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event.defused:
+                        raise event._value
+                elif event.dead:
+                    dead_skipped += 1
+                elif not event._ok and not event.defused:
+                    raise event._value
+        finally:
+            self._events_done += done
+            self._dead_skipped += dead_skipped
 
         if stop_event is not None:
             if stop_event.processed:

@@ -524,8 +524,8 @@ def test_e2e_per_service_trace_listener_detaches_on_undeploy():
     assert counted > 0
     sm.trace.emit("veem", "late", service=service.service_id)
     assert service.trace_record_count == counted    # no longer counted
-    # last service undeployed -> the dispatch listener itself detached
-    assert sm._count_sub is None
+    # last service undeployed -> its keyed listener entry fully detached
+    assert sm.trace._keyed == {}
     assert sm.trace._listeners == []
 
 

@@ -1,0 +1,126 @@
+"""Tests for the federation scale harness (``python -m repro scale``)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ScaleConfig, ScaleReport, run_scale
+from repro.experiments.scale import SESSIONS_KPI
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ScaleConfig(sites=0)
+    with pytest.raises(ValueError):
+        ScaleConfig(services=0)
+    with pytest.raises(ValueError):
+        ScaleConfig(hours=0)
+    with pytest.raises(ValueError):
+        ScaleConfig(tenants=0)
+    with pytest.raises(ValueError):
+        ScaleConfig(elastic_fraction=1.5)
+
+
+def test_config_pool_sizing_admits_whole_ceiling():
+    cfg = ScaleConfig(sites=4, services=40)
+    # 10 services/site, ceiling 2 instances each, 4 VMs/host -> 5 hosts + 1.
+    assert cfg.services_per_site == 10
+    assert cfg.hosts_per_site == 6
+    assert cfg.duration_s == 3600.0
+
+
+def test_config_rejects_vm_larger_than_host():
+    with pytest.raises(ValueError):
+        ScaleConfig(vm_cpu=8.0).hosts_per_site
+
+
+# ---------------------------------------------------------------------------
+# A small end-to-end run
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_scale(ScaleConfig(sites=2, services=12, hours=0.5,
+                                 tenants=3, random_seed=7))
+
+
+def test_small_run_admits_everything(small_report):
+    r = small_report
+    assert r.admitted == 12
+    assert r.queued == 0 and r.rejected == 0
+
+
+def test_small_run_scales_the_fleet(small_report):
+    # Some services burst past the scale-up threshold (elastic_fraction
+    # 0.25, seed 7), so the peak fleet exceeds the initial one-VM-each.
+    assert small_report.peak_vms > 12
+
+
+def test_small_run_report_metrics(small_report):
+    r = small_report
+    assert r.events_processed > 0
+    assert r.wall_s > 0
+    assert r.events_per_sec > 0
+    assert r.wall_s_per_sim_hour == pytest.approx(r.wall_s / 0.5)
+    assert r.peak_rss_kb > 0
+    assert r.rss_mb_per_1k_vms > 0
+    assert r.peak_queue_depth >= 0
+
+
+def test_small_run_render_mentions_all_headline_metrics(small_report):
+    text = small_report.render()
+    assert "events/sec" in text
+    assert "wall-clock/sim-h" in text
+    assert "per 1k VMs" in text
+    assert "timer wheel" in text
+
+
+# ---------------------------------------------------------------------------
+# Wheel vs reference kernel on the full harness
+# ---------------------------------------------------------------------------
+
+def test_harness_is_kernel_invariant():
+    """The same scale workload on the wheel and the heap oracle must agree
+    on every simulation-visible outcome (wall-clock and RSS aside)."""
+    cfg = dict(sites=2, services=10, hours=0.25, tenants=2, random_seed=11)
+    wheel = run_scale(ScaleConfig(**cfg))
+    heap = run_scale(ScaleConfig(reference=True, **cfg))
+    assert wheel.reference is False and heap.reference is True
+    for field in ("admitted", "queued", "rejected", "peak_vms",
+                  "peak_queue_depth", "events_processed", "dead_skipped"):
+        assert getattr(wheel, field) == getattr(heap, field), field
+
+
+def test_same_seed_replays_identically():
+    cfg = ScaleConfig(sites=2, services=8, hours=0.25, random_seed=3)
+    a, b = run_scale(cfg), run_scale(cfg)
+    assert a.events_processed == b.events_processed
+    assert a.peak_vms == b.peak_vms
+    assert a.peak_queue_depth == b.peak_queue_depth
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_scale_smoke():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "scale", "--sites", "2",
+         "--services", "8", "--hours", "0.25", "--seed", "5"],
+        capture_output=True, text=True, env={"PYTHONPATH": SRC, "PATH": ""},
+        check=True)
+    assert "events/sec" in out.stdout
+    assert "per 1k VMs" in out.stdout
+
+
+def test_sessions_kpi_name_is_stable():
+    # The manifest rules and the monitoring agents must agree on this name.
+    assert SESSIONS_KPI == "scale.app.sessions"

@@ -416,3 +416,167 @@ def test_processes_start_before_same_time_events():
     gate.callbacks.append(lambda _e: order.append("gate"))
     env.run()
     assert order[0] == "started"
+
+
+# ---------------------------------------------------------------------------
+# Lazy cancellation, dead-entry skipping and kernel counters
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_cancelled_timeout_is_skipped_dead(reference):
+    env = Environment(reference=reference)
+    doomed = env.timeout(5)
+    env.timeout(7)
+    doomed.cancel()
+    env.run()
+    assert env.now == 7.0
+    assert env.dead_skipped == 1
+    # Dead pops still count as processed work.
+    assert env.events_processed == 2
+
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_anyof_loser_timeout_is_dead_marked(reference):
+    env = Environment(reference=reference)
+    fired_at = []
+
+    def proc(env):
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(100, value="slow")
+        yield AnyOf(env, [fast, slow])
+        fired_at.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert fired_at == [1.0]
+    # The losing 100 s timeout stayed queued but was skipped at pop time.
+    assert env.now == 100.0
+    assert env.dead_skipped == 1
+
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_interrupt_dead_marks_abandoned_timeout(reference):
+    env = Environment(reference=reference)
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(50)
+            log.append("overslept")
+        except Interrupt as exc:
+            log.append(("interrupted", env.now, exc.cause))
+
+    def poker(env, victim):
+        yield env.timeout(5)
+        victim.interrupt("wake")
+
+    victim = env.process(sleeper(env))
+    env.process(poker(env, victim))
+    env.run()
+    assert log == [("interrupted", 5.0, "wake")]
+    # The abandoned 50 s timeout is skipped when its bucket drains.
+    assert env.now == 50.0
+    assert env.dead_skipped == 1
+
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_interrupt_before_start_detaches_first_wait(reference):
+    """Regression: interrupting a process before its first resume must not
+    leave the first yielded event subscribed. The unsubscribe happens at
+    interrupt *delivery* time, after the process has parked on its first
+    target -- a stale resume from that target would re-enter the generator
+    at the wrong yield."""
+    env = Environment(reference=reference)
+    log = []
+
+    def guarded(env):
+        try:
+            yield env.timeout(30)
+            log.append("slept")
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        got = yield env.timeout(5, value="ok")
+        log.append((got, env.now))
+
+    proc = env.process(guarded(env))
+    proc.interrupt()                # before the process has even started
+    env.run()
+    assert log == [("interrupted", 0.0), ("ok", 5.0)]
+    assert proc.ok
+    # The abandoned 30 s timeout was dead-marked and skipped.
+    assert env.dead_skipped == 1
+
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_attaching_callback_revives_cancelled_event(reference):
+    """cancel() is lazy, never destructive: a callback attached afterwards
+    still runs, and the pop is not counted as a dead skip."""
+    env = Environment(reference=reference)
+    fired = []
+    t = env.timeout(1, value="v")
+    t.cancel()
+    t.callbacks.append(lambda e: fired.append(e.value))
+    env.run()
+    assert fired == ["v"]
+    assert env.dead_skipped == 0
+
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_events_processed_counts_every_pop(reference):
+    env = Environment(reference=reference)
+    for i in range(10):
+        env.timeout(i)
+    env.run()
+    assert env.events_processed == 10
+    assert env.dead_skipped == 0
+
+
+def test_kernel_counters_exposed_as_metrics_views():
+    env = Environment()
+    t = env.timeout(3)
+    t.cancel()
+    env.timeout(4)
+    env.run()
+    m = env.metrics
+    assert m.value("kernel.events.processed") == float(env.events_processed)
+    assert m.value("kernel.events.dead_skipped") == 1.0
+
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_step_is_not_reentrant(reference):
+    env = Environment(reference=reference)
+
+    def bad(env):
+        yield env.timeout(1)
+        env.step()
+
+    env.process(bad(env))
+    with pytest.raises(SimError):
+        env.run()
+
+
+def test_reference_and_wheel_step_peek_parity():
+    def build(reference):
+        env = Environment(reference=reference)
+        seen = []
+
+        def proc(env):
+            for delay in (0.0, 2.0, 0.0, 3.5):
+                yield env.timeout(delay)
+                seen.append(env.now)
+
+        env.process(proc(env))
+        return env, seen
+
+    wheel, wheel_seen = build(False)
+    heap, heap_seen = build(True)
+    trace_w, trace_h = [], []
+    while wheel.peek() != float("inf"):
+        trace_w.append(wheel.peek())
+        wheel.step()
+    while heap.peek() != float("inf"):
+        trace_h.append(heap.peek())
+        heap.step()
+    assert trace_w == trace_h
+    assert wheel_seen == heap_seen
+    assert wheel.events_processed == heap.events_processed

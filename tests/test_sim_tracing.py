@@ -261,3 +261,162 @@ def test_weighted_choice_validation():
         weighted_choice(rng, ["a", "b"], [0, 0])
     with pytest.raises(ValueError):
         weighted_choice(rng, ["a", "b"], [-1, 2])
+
+
+# ---------------------------------------------------------------------------
+# TimeSeries: bisect-windowed extrema
+# ---------------------------------------------------------------------------
+
+def test_time_series_windowed_extrema_basic():
+    ts = TimeSeries("load", initial=5)
+    ts.record(10, 1)
+    ts.record(20, 9)
+    ts.record(30, 4)
+    # Change points inside (12, 25]: the 9 recorded at t=20.
+    assert ts.maximum(12, 25) == 9
+    # The value *entering* the window (the level carried in from t=10)
+    # counts too -- the series sat at 1 from t=12 until t=20.
+    assert ts.minimum(12, 25) == 1
+    # Full-history defaults are unchanged.
+    assert ts.maximum() == 9
+    assert ts.minimum() == 1
+
+
+def test_time_series_window_with_no_interior_points_uses_entering_value():
+    ts = TimeSeries("load", initial=5)
+    ts.record(10, 7)
+    ts.record(50, 2)
+    # No change point falls in [20, 30]; the step level there is 7.
+    assert ts.maximum(20, 30) == 7
+    assert ts.minimum(20, 30) == 7
+
+
+def test_time_series_window_boundaries_are_inclusive():
+    ts = TimeSeries("load", initial=0)
+    ts.record(10, 3)
+    ts.record(20, 8)
+    # start exactly on a change point includes it (right-continuity).
+    assert ts.maximum(10, 15) == 3
+    # end exactly on a change point includes it.
+    assert ts.maximum(5, 20) == 8
+    assert ts.minimum(10, 20) == 3
+
+
+def test_time_series_window_before_first_point():
+    ts = TimeSeries("load", initial=4, start=100.0)
+    ts.record(200, 9)
+    # A window entirely before the series started raises: there is no
+    # level entering the window and no change point inside it.
+    with pytest.raises(ValueError):
+        ts.maximum(0, 50)
+    # A window starting at/after the first point works.
+    assert ts.minimum(100, 150) == 4
+
+
+def test_time_series_extrema_million_points():
+    """Regression: windowed extrema on a 1e6-point series must return the
+    same answers as brute-force slices (and not scan full history)."""
+    n = 1_000_000
+    ts = TimeSeries("big", initial=0.0)
+    # Deterministic sawtooth with two planted outliers; build the columns
+    # directly (record() per point would dominate the test's runtime).
+    ts.times.extend(float(i) for i in range(1, n + 1))
+    ts.values.extend(float(i % 97) for i in range(1, n + 1))
+    ts.values[500_000] = 5000.0   # t = 500_000
+    ts.values[750_000] = -50.0    # t = 750_000
+
+    assert ts.maximum() == 5000.0
+    assert ts.minimum() == -50.0
+    # Tight windows around the planted points.
+    assert ts.maximum(499_999.5, 500_000.5) == 5000.0
+    assert ts.minimum(749_999.5, 750_000.5) == -50.0
+    # A window avoiding both outliers: sawtooth extrema plus the level
+    # entering the window.
+    lo_t, hi_t = 100_000.0, 100_500.0
+    brute = list(ts.values[100_000:100_501])  # change points in [lo, hi]
+    assert ts.maximum(lo_t, hi_t) == max(brute)
+    assert ts.minimum(lo_t, hi_t) == min(brute)
+    # A window strictly between change points reads the entering level.
+    assert ts.maximum(123_456.25, 123_456.75) == float(123_456 % 97)
+    assert ts.minimum(123_456.25, 123_456.75) == float(123_456 % 97)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1000),
+                          st.floats(min_value=-100, max_value=100)),
+                min_size=1, max_size=30),
+       st.floats(min_value=-10, max_value=1010),
+       st.floats(min_value=0, max_value=200))
+@settings(max_examples=100, deadline=None)
+def test_time_series_extrema_match_bruteforce(points, start, width):
+    points = sorted(points)
+    ts = TimeSeries("h", initial=0.0)
+    for t, v in points:
+        ts.record(t, v)
+    end = start + width
+    # Brute force over the step function: values at change points in
+    # [start, end], plus the level entering the window.
+    candidates = [v for t, v in ts.steps() if start <= t <= end]
+    if ts.times[0] < start:
+        candidates.append(ts.value_at(start))
+    if not candidates:
+        with pytest.raises(ValueError):
+            ts.maximum(start, end)
+    else:
+        assert ts.maximum(start, end) == max(candidates)
+        assert ts.minimum(start, end) == min(candidates)
+
+
+# ---------------------------------------------------------------------------
+# TraceLog: keyed listeners
+# ---------------------------------------------------------------------------
+
+def test_trace_log_keyed_listeners_dispatch_by_key():
+    env = Environment()
+    log = TraceLog(env)
+    got = []
+    log.subscribe_keyed("service", "a", lambda r: got.append(("a", r.kind)))
+    log.subscribe_keyed("service", "b", lambda r: got.append(("b", r.kind)))
+    log.emit("x", "one", service="a")
+    log.emit("x", "two", service="b")
+    log.emit("x", "three", service="c")   # no listener for this key
+    log.emit("x", "four")                 # field absent entirely
+    assert got == [("a", "one"), ("b", "two")]
+
+
+def test_trace_log_keyed_listeners_fire_on_emit_in():
+    env = Environment()
+    log = TraceLog(env)
+    got = []
+    log.subscribe_keyed("service", "svc", lambda r: got.append(r.kind))
+    span = log.span("src", "op")
+    log.emit_in(span, "src", "step", service="svc")
+    log.emit_in(span, "src", "other", service="nope")
+    assert got == ["step"]
+
+
+def test_trace_log_keyed_unsubscribe_cleans_up():
+    env = Environment()
+    log = TraceLog(env)
+    got = []
+    listener = lambda r: got.append(r.kind)
+    log.subscribe_keyed("service", "svc", listener)
+    log.emit("x", "one", service="svc")
+    log.unsubscribe_keyed("service", "svc", listener)
+    log.emit("x", "two", service="svc")
+    assert got == ["one"]
+    # Tables fully collapse so the emit fast path stays a falsy check.
+    assert log._keyed == {}
+    # Unsubscribing again (or an unknown listener) is a no-op.
+    log.unsubscribe_keyed("service", "svc", listener)
+
+
+def test_trace_log_keyed_and_plain_listeners_coexist():
+    env = Environment()
+    log = TraceLog(env)
+    seen = {"plain": 0, "keyed": 0}
+    log.subscribe(lambda r: seen.__setitem__("plain", seen["plain"] + 1))
+    log.subscribe_keyed("vm", "vm-1",
+                        lambda r: seen.__setitem__("keyed", seen["keyed"] + 1))
+    log.emit("x", "a", vm="vm-1")
+    log.emit("x", "b", vm="vm-2")
+    assert seen == {"plain": 2, "keyed": 1}
