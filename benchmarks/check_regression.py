@@ -35,6 +35,7 @@ HEADLINE = (
     "test_control_plane_churn",
     "test_obs_overhead",
     "test_kernel_10m_events",
+    "test_vm_table_capacity_scan",
 )
 
 #: Recorded in the baseline for context (e.g. the linear-scan routing mode
@@ -49,6 +50,16 @@ INFORMATIONAL = (
 #: would not move any median, so these are compared explicitly.
 MEMORY = (
     ("test_scale_rss_per_1k_vms", "rss_mb_per_1k_vms"),
+)
+
+#: Hardware-conditional gates: (bench name, extra_info key), higher is
+#: better. These benches skip themselves on incapable boxes (e.g. the
+#: parallel-speedup bench needs >= 4 cores), so a metric missing from the
+#: current run is SKIPPED, not a failure; when the baseline carries a value
+#: and the box produced one, it gates like everything else. ``--update``
+#: preserves the previous baseline entry when the current run skipped.
+CONDITIONAL = (
+    ("test_scale_parallel_speedup", "parallel_speedup"),
 )
 
 THRESHOLD = 0.25
@@ -79,9 +90,10 @@ def load_memory(path):
                 if isinstance(value, (int, float)):
                     metrics[(b["name"], key)] = float(value)
         return metrics
-    for name, entry in data.get("memory", {}).items():
-        for key, value in entry.items():
-            metrics[(name, key)] = float(value)
+    for section in ("memory", "conditional"):
+        for name, entry in data.get(section, {}).items():
+            for key, value in entry.items():
+                metrics[(name, key)] = float(value)
     return metrics
 
 
@@ -96,6 +108,16 @@ def main(argv):
         for name, key in MEMORY:
             if (name, key) in current_memory:
                 memory.setdefault(name, {})[key] = current_memory[(name, key)]
+        conditional = {}
+        previous = (load_memory(BASELINE_PATH)
+                    if BASELINE_PATH.exists() else {})
+        for name, key in CONDITIONAL:
+            if (name, key) in current_memory:
+                conditional.setdefault(name, {})[key] = \
+                    current_memory[(name, key)]
+            elif (name, key) in previous:
+                # Bench skipped on this box: keep the capable-box baseline.
+                conditional.setdefault(name, {})[key] = previous[(name, key)]
         slim = {
             "comment": "medians in seconds; refresh via check_regression.py "
                        "--update after intentional perf changes",
@@ -104,6 +126,7 @@ def main(argv):
             "informational": {name: {"median_s": current[name]}
                               for name in INFORMATIONAL if name in current},
             "memory": memory,
+            "conditional": conditional,
         }
         BASELINE_PATH.write_text(json.dumps(slim, indent=2) + "\n")
         print(f"baseline updated: {BASELINE_PATH}")
@@ -148,6 +171,24 @@ def main(argv):
             failed = True
         print(f"{status:<10}{name}[{key}]: baseline {base:.1f}, "
               f"current {now:.1f} ({delta:+.1%})")
+    for name, key in CONDITIONAL:
+        if (name, key) not in baseline_memory:
+            print(f"SKIPPED  {name}[{key}]: no baseline (bench needs "
+                  f"capable hardware to record one)")
+            continue
+        if (name, key) not in current_memory:
+            print(f"SKIPPED  {name}[{key}]: not measured on this box")
+            continue
+        base = baseline_memory[(name, key)]
+        now = current_memory[(name, key)]
+        # Higher is better for conditional metrics (they are speedups).
+        delta = (base - now) / base
+        status = "OK"
+        if delta > THRESHOLD:
+            status = "REGRESSED"
+            failed = True
+        print(f"{status:<10}{name}[{key}]: baseline {base:.2f}x, "
+              f"current {now:.2f}x ({-delta:+.1%})")
     return 1 if failed else 0
 
 

@@ -7,6 +7,8 @@ and rule-engine passes — the operations whose cost bounds how large a
 simulated cloud the harness can drive.
 """
 
+import pytest
+
 from repro.core.manifest import parse_expression
 from repro.monitoring import (
     AttributeType,
@@ -452,3 +454,90 @@ def test_scale_rss_per_1k_vms(benchmark):
     rss_mb_per_1k = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["rss_mb_per_1k_vms"] = rss_mb_per_1k
     assert rss_mb_per_1k > 0
+
+
+def test_vm_table_capacity_scan(benchmark):
+    """Struct-of-arrays fleet scans: census + filtered scans + capacity
+    aggregation over a 20k-VM table with a third of the fleet terminal.
+
+    This is the per-tick introspection work of the scale harness
+    (active counts, per-service scans, reserved-capacity sums) on the
+    dense ``array`` columns instead of VM object chains.
+    """
+    from repro.cloud.vm import DeploymentDescriptor, VirtualMachine, VMState
+    from repro.cloud.vmtable import VMTable
+
+    env = Environment()
+    table = VMTable()
+    vms = []
+    for i in range(20_000):
+        vm = VirtualMachine(env, f"vm-{i}", DeploymentDescriptor(
+            name=f"vm-{i}", memory_mb=1024.0, cpu=1.0,
+            disk_source="img://app",
+            service_id=f"svc-{i % 400}", component_id="app"))
+        table.add(vm)
+        vms.append(vm)
+    for i, vm in enumerate(vms):
+        vm.transition(VMState.STAGING)
+        vm.transition(VMState.BOOTING)
+        vm.transition(VMState.RUNNING)
+        if i % 3 == 0:
+            vm.transition(VMState.SHUTTING_DOWN)
+            vm.transition(VMState.STOPPED)
+
+    def scan():
+        active = table.active_count
+        cpu, mem = table.active_capacity()
+        matches = len(table.active_indices(service_id="svc-7"))
+        return active, cpu, matches
+
+    active, cpu, matches = benchmark(scan)
+    assert active == 20_000 - (20_000 + 2) // 3
+    assert cpu == float(active)
+    assert matches > 0
+
+
+def test_scale_parallel_speedup(benchmark):
+    """Sharded scale harness speedup: `--procs 4` vs `--procs 1`, each in
+    a fresh interpreter, on a federation big enough for the per-site
+    simulation work to dominate the coordinator's planning phase.
+
+    Requires 4 usable cores; on smaller boxes the bench skips and the
+    regression gate treats it as conditional (present in the baseline only
+    when produced on capable hardware).
+    """
+    import os
+    import re
+    import subprocess
+    import sys
+
+    if len(os.sched_getaffinity(0)) < 4:
+        pytest.skip("needs >= 4 usable CPUs for a parallel speedup")
+
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+    def run_once(procs):
+        cmd = [sys.executable, "-m", "repro", "scale", "--sites", "40",
+               "--services", "2000", "--hours", "0.5", "--seed", "2010",
+               "--procs", str(procs)]
+        out = subprocess.run(
+            cmd, capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": src})
+        match = re.search(r"wall-clock/sim-h:\s+([0-9.]+) s", out.stdout)
+        assert match, out.stdout
+        return float(match.group(1))
+
+    def measure():
+        single = run_once(1)
+        sharded = run_once(4)
+        return single, sharded
+
+    single, sharded = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = single / sharded if sharded else 0.0
+    benchmark.extra_info["wall_s_per_sim_h_procs1"] = single
+    benchmark.extra_info["wall_s_per_sim_h_procs4"] = sharded
+    benchmark.extra_info["parallel_speedup"] = round(speedup, 2)
+    assert speedup >= 2.0, (
+        f"--procs 4 must be >= 2x faster than --procs 1 "
+        f"(got {speedup:.2f}x: {single:.2f}s vs {sharded:.2f}s)")

@@ -27,12 +27,15 @@ Commands
     rest fairly, and drains the queue as services are released. A second
     phase deploys an elastic service and shows the causal span chain from
     a KPI publication to the VEE it caused, plus the time-constraint audit.
-``scale [--sites N] [--services M] [--hours H] [--reference]``
+``scale [--sites N] [--services M] [--hours H] [--procs P] [--reference]``
     Run the federation scale harness: an N-site federation under the
     control plane, M services with SAP-style session tides, H simulated
     hours; prints events/sec, wall-clock per simulated hour, and peak RSS
-    per 1k VMs. ``--reference`` runs the same workload on the heap oracle
-    kernel for comparison.
+    per 1k VMs (summed over all workers). ``--procs P`` shards the sites
+    across P worker processes with epoch barriers; ``--verify-oracle``
+    re-runs single-process and fails on any decision divergence.
+    ``--reference`` runs the same workload on the heap oracle kernel for
+    comparison.
 ``obs-report [--chrome FILE] [--jsonl FILE]``
     Run the same scenario and print the observability report: the span
     tree, a Prometheus-style metrics dump, and the §4.2.3 time-constraint
@@ -334,15 +337,38 @@ def _cmd_control_demo(args) -> int:
 
 
 def _cmd_scale(args) -> int:
-    from .experiments.scale import ScaleConfig, run_scale
+    from .experiments.scale import (
+        ScaleConfig,
+        run_scale,
+        verify_against_oracle,
+    )
 
     cfg = ScaleConfig(
         sites=args.sites, services=args.services, hours=args.hours,
         tenants=args.tenants, reference=args.reference,
         random_seed=args.seed, monitor_period_s=args.monitor_period,
         elastic_fraction=args.elastic_fraction,
+        procs=args.procs, epoch_s=args.epoch,
     )
-    report = run_scale(cfg, progress=lambda m: print(m, file=sys.stderr))
+    say = lambda m: print(m, file=sys.stderr)  # noqa: E731
+    if args.verify_oracle:
+        if cfg.procs <= 1:
+            print("--verify-oracle needs --procs > 1", file=sys.stderr)
+            return 2
+        sharded, oracle, divergences = verify_against_oracle(
+            cfg, progress=say)
+        print(sharded.render())
+        print()
+        print(oracle.render())
+        if divergences:
+            print("\nORACLE DIVERGENCE:", file=sys.stderr)
+            for line in divergences:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\noracle agreement: sharded --procs {cfg.procs} matches "
+              f"--procs 1 decision-for-decision")
+        return 0
+    report = run_scale(cfg, progress=say)
     print(report.render())
     return 0
 
@@ -463,6 +489,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2010)
     p.add_argument("--reference", action="store_true",
                    help="run on the heap oracle kernel instead of the wheel")
+    p.add_argument("--procs", type=int, default=1,
+                   help="worker processes; >1 shards the federation's "
+                        "sites across a spawn pool with epoch barriers")
+    p.add_argument("--epoch", type=float, default=600.0,
+                   help="simulated seconds between shard barriers")
+    p.add_argument("--verify-oracle", action="store_true",
+                   help="also run the --procs 1 oracle and fail on any "
+                        "decision-outcome divergence")
     p.set_defaults(func=_cmd_scale)
 
     p = sub.add_parser("obs-report",

@@ -17,8 +17,11 @@ declared CPU/memory. This module turns a set of manifests into host counts:
 
 from __future__ import annotations
 
+import weakref
+from array import array
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
 from ..core.manifest.model import ServiceManifest
 from .errors import CapacityError
@@ -52,8 +55,33 @@ class DemandEnvelope:
                 sum(d.memory_mb for d in instances))
 
 
+#: Identity-keyed envelope memo. Envelope expansion walks every virtual
+#: system of the manifest and allocates the instance tuples; the admission
+#: paths recompute it for the *same* manifest object thousands of times per
+#: simulated minute at federation scale. Manifests are treated as immutable
+#: once built (the builder returns a fresh model), so identity is a sound
+#: cache key; entries evict when the manifest is collected.
+_envelope_cache: dict[int, tuple[weakref.ref, "DemandEnvelope"]] = {}
+
+
 def demand_envelope(manifest: ServiceManifest) -> DemandEnvelope:
-    """Expand a manifest's elastic bounds into instance lists."""
+    """Expand a manifest's elastic bounds into instance lists (memoised by
+    manifest identity — manifests are immutable once built)."""
+    key = id(manifest)
+    hit = _envelope_cache.get(key)
+    if hit is not None and hit[0]() is manifest:
+        return hit[1]
+    envelope = _expand_envelope(manifest)
+    try:
+        ref = weakref.ref(
+            manifest, lambda _r, _k=key: _envelope_cache.pop(_k, None))
+    except TypeError:       # unweakreffable manifest stand-in: skip caching
+        return envelope
+    _envelope_cache[key] = (ref, envelope)
+    return envelope
+
+
+def _expand_envelope(manifest: ServiceManifest) -> DemandEnvelope:
     caps = dict(manifest.placement.per_host_caps)
     floor: list[InstanceDemand] = []
     ceiling: list[InstanceDemand] = []
@@ -169,18 +197,194 @@ def plan_capacity(manifests: list[ServiceManifest],
     )
 
 
+def _ffd_key(d: InstanceDemand) -> tuple[float, float]:
+    """First-fit-decreasing sort key (by memory, then CPU, descending)."""
+    return (-d.memory_mb, -d.cpu)
+
+
+def _pack_rows(rows: Iterable[tuple[float, float, int, str]],
+               host: HostType, limit: Optional[int] = None,
+               track_counts: bool = True) -> int:
+    """First-fit-decreasing over pre-sorted ``(cpu, mem, cap, component)``
+    rows, bins as parallel free-capacity lists; returns bins used.
+
+    Verdict-identical to :func:`_pack` on the same row order (the
+    Hypothesis differential suite holds the two together), with two wins
+    the object packer can't have:
+
+    * **struct-of-arrays bins** — the inner first-fit scan compares floats
+      in two lists instead of loading ``_Bin`` attributes; per-bin
+      component tallies are only kept when a per-host cap is present;
+    * **monotone skip-start** — bins never regain capacity (or shed
+      component count) during one pack, so a bin that rejected a demand
+      rejects every identical later demand; the scan for each distinct
+      ``(component, cpu, mem, cap)`` resumes where its last identical row
+      was placed, collapsing the quadratic bin scan of homogeneous fleets
+      to a linear pass.
+
+    ``limit`` is an early exit for admission verdicts: once more than
+    ``limit`` bins are open the caller's answer is already "no", so the
+    pack stops and returns ``limit + 1``.
+
+    ``track_counts=False`` skips per-bin component tallies entirely. The
+    object packer counts *every* placed instance (capped or not — and
+    same-named components of different services share a bin's tally), so
+    this is only sound when the caller knows **no row in the whole pack**
+    carries a cap; :class:`_DemandTable` tracks exactly that.
+    """
+    host_cpu = host.cpu_cores
+    host_mem = host.memory_mb
+    eps = 1e-9
+    bins_cpu: list[float] = []
+    bins_mem: list[float] = []
+    bins_count: list[dict[str, int]] = []
+    starts: dict[tuple, int] = {}
+    for cpu, mem, cap, comp in rows:
+        if cpu > host_cpu or mem > host_mem:
+            raise CapacityError(
+                f"instance of {comp!r} (cpu={cpu}, mem={mem}) exceeds "
+                f"the host type"
+            )
+        key = (comp, cpu, mem, cap)
+        i = starts.get(key, 0)
+        n = len(bins_cpu)
+        placed = -1
+        if cap < 0:
+            while i < n:
+                if cpu <= bins_cpu[i] + eps and mem <= bins_mem[i] + eps:
+                    placed = i
+                    break
+                i += 1
+        else:
+            while i < n:
+                if (cpu <= bins_cpu[i] + eps and mem <= bins_mem[i] + eps
+                        and bins_count[i].get(comp, 0) < cap):
+                    placed = i
+                    break
+                i += 1
+        if placed < 0:
+            if limit is not None and n >= limit:
+                return n + 1
+            bins_cpu.append(host_cpu - cpu)
+            bins_mem.append(host_mem - mem)
+            if track_counts:
+                bins_count.append({comp: 1})
+            starts[key] = n
+        else:
+            bins_cpu[placed] -= cpu
+            bins_mem[placed] -= mem
+            if track_counts:
+                counts = bins_count[placed]
+                counts[comp] = counts.get(comp, 0) + 1
+            starts[key] = placed
+    return len(bins_cpu)
+
+
+class _DemandTable:
+    """Struct-of-arrays table of committed instance demands, maintained in
+    first-fit-decreasing order.
+
+    Columns (parallel, keyed by dense row index): ``cpu``/``mem`` as
+    ``array('d')``, per-host cap as ``array('l')`` (``-1`` = uncapped),
+    component name and owner token as lists. New demands bisect into FFD
+    position (equal keys land *after* existing rows), so the table's row
+    order is exactly what ``sorted(admitted-expansion, key=FFD)`` would
+    produce — :func:`_pack_rows` over it matches :func:`_pack` bin for bin.
+    """
+
+    __slots__ = ("cpu", "mem", "cap", "comp", "owner", "keys",
+                 "total_cpu", "total_mem", "capped_rows")
+
+    def __init__(self) -> None:
+        self.cpu = array("d")
+        self.mem = array("d")
+        self.cap = array("l")
+        self.comp: list[str] = []
+        self.owner: list[int] = []
+        #: FFD sort keys, kept parallel for the bisect
+        self.keys: list[tuple[float, float]] = []
+        self.total_cpu = 0.0
+        self.total_mem = 0.0
+        #: rows carrying a per-host cap — when zero (the common fleet),
+        #: packs over this table can skip per-bin component tallies
+        self.capped_rows = 0
+
+    def __len__(self) -> int:
+        return len(self.cpu)
+
+    def insert(self, token: int, demands: tuple[InstanceDemand, ...]) -> None:
+        for d in sorted(demands, key=_ffd_key):
+            key = _ffd_key(d)
+            pos = bisect_right(self.keys, key)
+            self.keys.insert(pos, key)
+            self.cpu.insert(pos, d.cpu)
+            self.mem.insert(pos, d.memory_mb)
+            self.cap.insert(pos, -1 if d.per_host_cap is None
+                            else d.per_host_cap)
+            self.comp.insert(pos, d.component)
+            self.owner.insert(pos, token)
+            self.total_cpu += d.cpu
+            self.total_mem += d.memory_mb
+            if d.per_host_cap is not None:
+                self.capped_rows += 1
+
+    def remove(self, token: int) -> None:
+        keep = [i for i, t in enumerate(self.owner) if t != token]
+        if len(keep) == len(self.owner):
+            return
+        for i, t in enumerate(self.owner):
+            if t == token:
+                self.total_cpu -= self.cpu[i]
+                self.total_mem -= self.mem[i]
+                if self.cap[i] >= 0:
+                    self.capped_rows -= 1
+        self.cpu = array("d", (self.cpu[i] for i in keep))
+        self.mem = array("d", (self.mem[i] for i in keep))
+        self.cap = array("l", (self.cap[i] for i in keep))
+        self.comp = [self.comp[i] for i in keep]
+        self.owner = [self.owner[i] for i in keep]
+        self.keys = [self.keys[i] for i in keep]
+
+    def rows(self) -> Iterator[tuple[float, float, int, str]]:
+        return zip(self.cpu, self.mem, self.cap, self.comp)
+
+    def rows_with(self, demands: tuple[InstanceDemand, ...]
+                  ) -> Iterator[tuple[float, float, int, str]]:
+        """Rows merged with a candidate's demands, preserving FFD order
+        (candidate rows after equal-key committed rows — exactly where a
+        repack of ``admitted + [candidate]`` would stable-sort them)."""
+        extra = sorted(demands, key=_ffd_key)
+        keys = self.keys
+        table_rows = self.rows()
+        i, n = 0, len(keys)
+        for d in extra:
+            key = _ffd_key(d)
+            while i < n and keys[i] <= key:
+                yield next(table_rows)
+                i += 1
+            yield (d.cpu, d.memory_mb,
+                   -1 if d.per_host_cap is None else d.per_host_cap,
+                   d.component)
+        yield from table_rows
+
+
 class AdmissionController:
     """Guaranteed-capacity admission: every admitted service must be able to
     reach its maximum instances simultaneously on the pool.
 
-    Admission decisions are exact (a full first-fit-decreasing repack of
-    everything admitted plus the candidate), but the scale harness calls
-    them thousands of times per simulated minute, so three caches sit in
-    front of the packing — none of them changes a single verdict:
+    Admission decisions are exact first-fit-decreasing repacks of everything
+    admitted plus the candidate, but the scale harness asks thousands of
+    times per simulated minute, so the committed demand lives in two
+    struct-of-arrays :class:`_DemandTable` s (floor and ceiling) kept in
+    FFD order incrementally — a verdict is one :func:`_pack_rows` pass over
+    dense float columns with no re-expansion, no re-sort and no
+    ``InstanceDemand`` object churn. Three caches sit in front of the pack
+    — none of them changes a single verdict:
 
     * aggregate ceiling totals give an O(1) *necessary* screen — if total
       demand exceeds the pool's raw capacity, no packing can fit and the
-      repack is skipped;
+      pack is skipped (and the pack itself exits early once the verdict
+      can no longer be "yes");
     * the last ``can_admit`` verdict is memoised by manifest identity and a
       mutation version, collapsing the ``can_admit`` → ``admit`` double
       pack and the control plane's repeated probes of a saturated pool;
@@ -197,8 +401,10 @@ class AdmissionController:
         self.admitted: list[ServiceManifest] = []
         #: Bumped on every admit/release; guards all caches below.
         self._version = 0
-        self._ceiling_cpu = 0.0
-        self._ceiling_mem = 0.0
+        self._floor = _DemandTable()
+        self._ceiling = _DemandTable()
+        self._tokens: list[int] = []
+        self._next_token = 0
         self._committed: Optional[tuple[int, CapacityPlan]] = None
         self._last_check: Optional[tuple[ServiceManifest, int, bool]] = None
 
@@ -207,16 +413,22 @@ class AdmissionController:
         if (memo is not None and memo[0] is manifest
                 and memo[1] == self._version):
             return memo[2]
-        cpu, mem = demand_envelope(manifest).totals("ceiling")
-        if (self._ceiling_mem + mem
+        envelope = demand_envelope(manifest)
+        cpu, mem = envelope.totals("ceiling")
+        if (self._ceiling.total_mem + mem
                 > self.host.memory_mb * self.pool_hosts + 1e-6
-                or self._ceiling_cpu + cpu
+                or self._ceiling.total_cpu + cpu
                 > self.host.cpu_cores * self.pool_hosts + 1e-6):
             # Aggregate demand alone overflows the pool: no packing exists.
             verdict = False
         else:
-            plan = plan_capacity(self.admitted + [manifest], self.host)
-            verdict = plan.hosts_for_ceiling <= self.pool_hosts
+            track = (self._ceiling.capped_rows > 0
+                     or any(d.per_host_cap is not None
+                            for d in envelope.ceiling))
+            hosts = _pack_rows(self._ceiling.rows_with(envelope.ceiling),
+                               self.host, limit=self.pool_hosts,
+                               track_counts=track)
+            verdict = hosts <= self.pool_hosts
         self._last_check = (manifest, self._version, verdict)
         return verdict
 
@@ -226,17 +438,24 @@ class AdmissionController:
                 f"cannot admit {manifest.service_name!r}: worst-case demand "
                 f"exceeds the {self.pool_hosts}-host pool"
             )
+        envelope = demand_envelope(manifest)
+        token = self._next_token
+        self._next_token += 1
         self.admitted.append(manifest)
-        cpu, mem = demand_envelope(manifest).totals("ceiling")
-        self._ceiling_cpu += cpu
-        self._ceiling_mem += mem
+        self._tokens.append(token)
+        self._floor.insert(token, envelope.floor)
+        self._ceiling.insert(token, envelope.ceiling)
         self._version += 1
 
     def release(self, manifest: ServiceManifest) -> None:
-        self.admitted.remove(manifest)
-        cpu, mem = demand_envelope(manifest).totals("ceiling")
-        self._ceiling_cpu -= cpu
-        self._ceiling_mem -= mem
+        # Same semantics as ``list.remove``: drop the first admitted entry
+        # that compares equal (equal manifests have equal envelopes, so
+        # releasing any one of them frees identical rows).
+        index = self.admitted.index(manifest)
+        del self.admitted[index]
+        token = self._tokens.pop(index)
+        self._floor.remove(token)
+        self._ceiling.remove(token)
         self._version += 1
 
     @property
@@ -244,7 +463,19 @@ class AdmissionController:
         cached = self._committed
         if cached is not None and cached[0] == self._version:
             return cached[1]
-        plan = plan_capacity(self.admitted, self.host)
+        plan = CapacityPlan(
+            host=self.host,
+            hosts_for_floor=_pack_rows(
+                self._floor.rows(), self.host,
+                track_counts=self._floor.capped_rows > 0),
+            hosts_for_ceiling=_pack_rows(
+                self._ceiling.rows(), self.host,
+                track_counts=self._ceiling.capped_rows > 0),
+            floor_cpu=self._floor.total_cpu,
+            floor_memory_mb=self._floor.total_mem,
+            ceiling_cpu=self._ceiling.total_cpu,
+            ceiling_memory_mb=self._ceiling.total_mem,
+        )
         self._committed = (self._version, plan)
         return plan
 

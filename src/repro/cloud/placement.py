@@ -268,10 +268,23 @@ class Placer:
         changes). CapacityError subclasses PlacementError, so callers that
         don't care about the distinction keep working.
         """
-        fitting = [
-            h for h in hosts
-            if h.fits(descriptor.cpu, descriptor.memory_mb)
-        ]
+        cpu = descriptor.cpu
+        mem = descriptor.memory_mb
+        if not self.constraints and type(self.policy) is FirstFit:
+            # Hot path for the default placer: first-fit with no constraints
+            # needs only the first fitting host — skip materialising the
+            # fitting/candidate lists and the identity re-ranking.
+            for h in hosts:
+                if h.fits(cpu, mem):
+                    self.selections += 1
+                    return h
+            self.capacity_failures += 1
+            raise CapacityError(
+                f"no feasible host for {descriptor.name!r}: pool capacity "
+                f"exhausted (cpu={cpu}, "
+                f"mem={mem}MB, {len(hosts)} host(s))"
+            )
+        fitting = [h for h in hosts if h.fits(cpu, mem)]
         if not fitting:
             self.capacity_failures += 1
             raise CapacityError(

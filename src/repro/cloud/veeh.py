@@ -104,7 +104,9 @@ class Host:
         vm.host = self
 
     def release(self, vm: VirtualMachine) -> None:
-        if vm not in self.vms:
+        # ``vm.host`` is maintained by reserve/release, so the identity check
+        # replaces an O(fleet) list membership scan.
+        if vm.host is not self:
             raise CapacityError(f"host {self.name}: VM {vm.vm_id} not placed here")
         d = vm.descriptor
         self._cpu_used -= d.cpu
@@ -118,7 +120,7 @@ class Host:
     def resize(self, vm: VirtualMachine, *, cpu: Optional[float] = None,
                memory_mb: Optional[float] = None) -> None:
         """Adjust a placed VM's reservation (VEEM ``reconfigure`` support)."""
-        if vm not in self.vms:
+        if vm.host is not self:
             raise CapacityError(f"host {self.name}: VM {vm.vm_id} not placed here")
         d = vm.descriptor
         new_cpu = d.cpu if cpu is None else float(cpu)

@@ -25,6 +25,7 @@ from .network import NetworkFabric
 from .placement import Placer
 from .veeh import Host
 from .vm import DeploymentDescriptor, VirtualMachine, VMState
+from .vmtable import VMTable
 
 __all__ = ["VEEM"]
 
@@ -52,6 +53,10 @@ class VEEM:
         self.networks = NetworkFabric()
         self._vm_seq = itertools.count(1)
         self.vms: dict[str, VirtualMachine] = {}
+        #: struct-of-arrays fleet bookkeeping (cpu/memory/state columns
+        #: keyed by dense VM index) — census and component scans read the
+        #: columns instead of chasing VM objects
+        self.table = VMTable()
         # Registry-owned operation counters (these paths are not hot — a VM
         # operation costs simulated seconds) plus views over the placer's
         # plain tallies.
@@ -93,22 +98,20 @@ class VEEM:
     def active_vms(self, *, service_id: Optional[str] = None,
                    component_id: Optional[str] = None
                    ) -> list[VirtualMachine]:
-        return [
-            vm for vm in self.vms.values()
-            if vm.is_active
-            and (service_id is None or vm.descriptor.service_id == service_id)
-            and (component_id is None
-                 or vm.descriptor.component_id == component_id)
-        ]
+        return self.table.active_vms(service_id=service_id,
+                                     component_id=component_id)
 
     def running_vms(self, *, service_id: Optional[str] = None,
                     component_id: Optional[str] = None
                     ) -> list[VirtualMachine]:
-        return [
-            vm for vm in self.active_vms(service_id=service_id,
-                                         component_id=component_id)
-            if vm.state is VMState.RUNNING
-        ]
+        return self.table.active_vms(service_id=service_id,
+                                     component_id=component_id,
+                                     running_only=True)
+
+    @property
+    def active_vm_count(self) -> int:
+        """Live fleet size, O(1) off the table's incremental counter."""
+        return self.table.active_count
 
     @property
     def total_capacity(self) -> tuple[float, float]:
@@ -149,6 +152,7 @@ class VEEM:
         span.details["host"] = host.name
         self._m_submitted.inc()
         self.vms[vm_id] = vm
+        self.table.add(vm)
         self.trace.emit_in(span, self.name, "vm.submit", vm=vm_id,
                            component=descriptor.component_id,
                            service=descriptor.service_id, host=host.name)
@@ -356,5 +360,5 @@ class VEEM:
         return self.submit(descriptor).on_running
 
     def __repr__(self) -> str:
-        active = len([vm for vm in self.vms.values() if vm.is_active])
-        return f"<VEEM {self.name} hosts={len(self.hosts)} active_vms={active}>"
+        return (f"<VEEM {self.name} hosts={len(self.hosts)} "
+                f"active_vms={self.table.active_count}>")

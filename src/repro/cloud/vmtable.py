@@ -1,0 +1,186 @@
+"""Struct-of-arrays bookkeeping for a site's VM fleet.
+
+The scale harness's hot introspection paths — the periodic live-VM census,
+``active_vms``/``running_vms`` scans, per-component instance counts — used
+to chase one Python object per VM (`vm.is_active` → attribute load → enum
+compare) across fleets of tens of thousands. :class:`VMTable` keeps the
+fields those scans touch in dense parallel ``array`` columns keyed by a
+per-site VM index:
+
+========== ============ ====================================================
+column     type         contents
+========== ============ ====================================================
+``cpu``    ``array(d)`` reserved CPU cores
+``memory`` ``array(d)`` reserved memory (MB)
+``state``  ``array(b)`` :class:`~repro.cloud.vm.VMState` as a small int code
+``comp``   ``array(i)`` interned component id (``-1`` = none)
+``svc``    ``array(i)`` interned service id (``-1`` = none)
+========== ============ ====================================================
+
+A parallel ``vms`` list holds the :class:`~repro.cloud.vm.VirtualMachine`
+back-references so scans only materialise objects for *matching* rows.
+State changes flow in through :meth:`note_transition` (wired into
+``VirtualMachine.transition``), which also maintains an incremental
+``active_count`` — the federation census is O(sites) instead of O(fleet).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Optional
+
+from .vm import VMState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .vm import VirtualMachine
+
+__all__ = ["VMTable", "STATE_CODE", "ACTIVE_CODES"]
+
+#: Stable VMState → small-int encoding for the ``state`` column.
+STATE_CODE: dict[VMState, int] = {
+    state: code for code, state in enumerate(VMState)
+}
+_CODE_STATE: tuple[VMState, ...] = tuple(VMState)
+
+#: Codes of states that hold (or are acquiring) host capacity — everything
+#: except STOPPED and FAILED, mirroring ``VirtualMachine.is_active``.
+ACTIVE_CODES: frozenset[int] = frozenset(
+    STATE_CODE[s] for s in VMState if s not in (VMState.STOPPED,
+                                                VMState.FAILED)
+)
+_RUNNING = STATE_CODE[VMState.RUNNING]
+_STOPPED = STATE_CODE[VMState.STOPPED]
+_FAILED = STATE_CODE[VMState.FAILED]
+
+
+class VMTable:
+    """Dense struct-of-arrays registry of every VM a VEEM ever submitted.
+
+    Rows are append-only (a fleet's history is part of its accounting);
+    liveness is the ``state`` column, not row deletion, so indices stay
+    stable for the lifetime of the table.
+    """
+
+    __slots__ = ("cpu", "memory", "state", "comp", "svc", "vms",
+                 "active_count", "_intern")
+
+    def __init__(self) -> None:
+        self.cpu = array("d")
+        self.memory = array("d")
+        self.state = array("b")
+        self.comp = array("i")
+        self.svc = array("i")
+        self.vms: list[VirtualMachine] = []
+        #: VMs currently in a capacity-holding state, maintained on every
+        #: transition — the O(1) census read.
+        self.active_count = 0
+        #: shared string → column id intern map (component and service ids
+        #: draw from disjoint enough namespaces that one map serves both)
+        self._intern: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.state)
+
+    # -- registration --------------------------------------------------
+    def intern(self, name: Optional[str]) -> int:
+        """Column id for a component/service name (``-1`` for None)."""
+        if name is None:
+            return -1
+        table = self._intern
+        code = table.get(name)
+        if code is None:
+            code = len(table)
+            table[name] = code
+        return code
+
+    def add(self, vm: VirtualMachine) -> int:
+        """Register a VM; returns its dense index and wires the VM so
+        subsequent ``transition()`` calls update the columns."""
+        index = len(self.state)
+        d = vm.descriptor
+        self.cpu.append(d.cpu)
+        self.memory.append(d.memory_mb)
+        code = STATE_CODE[vm.state]
+        self.state.append(code)
+        self.comp.append(self.intern(d.component_id))
+        self.svc.append(self.intern(d.service_id))
+        self.vms.append(vm)
+        if code in ACTIVE_CODES:
+            self.active_count += 1
+        vm._table = self
+        vm._table_index = index
+        return index
+
+    def note_transition(self, index: int, new_state: VMState) -> None:
+        """Record a state change (called from ``VirtualMachine.transition``)."""
+        code = STATE_CODE[new_state]
+        old = self.state[index]
+        self.state[index] = code
+        # Transitions out of the active set are exactly STOPPED/FAILED
+        # (terminal states never transition again), so the delta is cheap.
+        if code == _STOPPED or code == _FAILED:
+            if old not in (_STOPPED, _FAILED):
+                self.active_count -= 1
+
+    # -- scans ----------------------------------------------------------
+    def active_indices(self, *, service_id: Optional[str] = None,
+                       component_id: Optional[str] = None) -> list[int]:
+        """Dense indices of active rows, optionally filtered — the scan
+        compares ints in the columns and never touches a VM object."""
+        states = self.state
+        active = ACTIVE_CODES
+        want_svc = (self._intern.get(service_id, -2)
+                    if service_id is not None else None)
+        want_comp = (self._intern.get(component_id, -2)
+                     if component_id is not None else None)
+        if want_svc == -2 or want_comp == -2:
+            return []       # name never interned: no VM can match
+        svc = self.svc
+        comp = self.comp
+        return [
+            i for i in range(len(states))
+            if states[i] in active
+            and (want_svc is None or svc[i] == want_svc)
+            and (want_comp is None or comp[i] == want_comp)
+        ]
+
+    def active_vms(self, *, service_id: Optional[str] = None,
+                   component_id: Optional[str] = None,
+                   running_only: bool = False) -> list[VirtualMachine]:
+        """The matching :class:`VirtualMachine` objects, in submission
+        order (the order every pre-table scan produced)."""
+        vms = self.vms
+        if running_only:
+            states = self.state
+            return [vms[i]
+                    for i in self.active_indices(service_id=service_id,
+                                                 component_id=component_id)
+                    if states[i] == _RUNNING]
+        return [vms[i]
+                for i in self.active_indices(service_id=service_id,
+                                             component_id=component_id)]
+
+    def active_capacity(self) -> tuple[float, float]:
+        """(cpu, memory_mb) reserved by the active fleet."""
+        states = self.state
+        cpu = self.cpu
+        mem = self.memory
+        active = ACTIVE_CODES
+        total_cpu = 0.0
+        total_mem = 0.0
+        for i in range(len(states)):
+            if states[i] in active:
+                total_cpu += cpu[i]
+                total_mem += mem[i]
+        return total_cpu, total_mem
+
+    def state_counts(self) -> dict[VMState, int]:
+        """Histogram of the fleet by lifecycle state."""
+        counts = [0] * len(_CODE_STATE)
+        for code in self.state:
+            counts[code] += 1
+        return {_CODE_STATE[code]: n for code, n in enumerate(counts) if n}
+
+    def __repr__(self) -> str:
+        return (f"<VMTable rows={len(self.state)} "
+                f"active={self.active_count}>")

@@ -204,11 +204,18 @@ class ControlPlane:
     # ------------------------------------------------------------------
     def submit(self, tenant: str, manifest: ServiceManifest, *,
                service_id: Optional[str] = None,
-               drivers: Optional[dict] = None) -> Outcome:
+               drivers: Optional[dict] = None,
+               site: Optional[str] = None) -> Outcome:
         """Submit one manifest on behalf of ``tenant``.
 
         Returns a typed outcome immediately; a :class:`Queued` request's
         later fate fires its ``decided`` event and shows up on the trace.
+
+        ``site`` pins the request to one named federation member instead of
+        the federated best-site selection: it is admitted there or rejected
+        outright, never queued. Shard workers replay coordinator admission
+        decisions through this path, so a pinned submit must stay exactly
+        "the federated outcome with the site choice already made".
         """
         owner = self.tenants.get(tenant)
         if owner is None:
@@ -238,6 +245,21 @@ class ControlPlane:
         if not owner.quota.admits_alone(envelope):
             return self._reject(request, "quota: worst case exceeds the "
                                          "tenant quota outright")
+        if site is not None:
+            # Pinned submission: admit on the named site now or reject.
+            target = self._site_named(site)
+            if not self._eligible(target, manifest):
+                return self._reject(
+                    request, f"placement: site {site!r} is not eligible")
+            if owner.quota.violation(owner.usage, envelope) is not None:
+                return self._reject(
+                    request, "quota: worst case exceeds the tenant quota")
+            if not target.admission.can_admit(manifest):
+                return self._reject(
+                    request, f"capacity: site {site!r} cannot admit the "
+                             f"worst case")
+            self._admit_to(request, target)
+            return Admitted(request, target.name)
         if not self._fits_somewhere_empty(request):
             return self._reject(request, "capacity: worst case exceeds "
                                          "every eligible site's whole pool")
@@ -393,6 +415,14 @@ class ControlPlane:
         site = self._best_site(request)
         if site is None:
             return False
+        self._admit_to(request, site)
+        return True
+
+    def _admit_to(self, request: ProvisioningRequest,
+                  site: ControlledSite) -> None:
+        """Reserve capacity on ``site`` and start driving the deployment
+        (shared by the fair-drain path and pinned submissions)."""
+        tenant = self.tenants[request.tenant]
         site.admission.admit(request.manifest)
         tenant.usage.add(request.envelope)
         request.state = RequestState.DEPLOYING
@@ -409,7 +439,6 @@ class ControlPlane:
         request._decide()
         self.env.process(self._drive(request, site),
                          name=f"drive:{request.request_id}")
-        return True
 
     def _pump(self) -> int:
         """Drain the queue as far as current capacity/quotas allow."""

@@ -16,30 +16,49 @@ report what the run cost:
   hour costs at this scale;
 * **peak RSS per 1k peak VMs** — the memory footprint the federation's
   state (hosts, VMs, services, series, trace) imposes, normalised by
-  fleet size.
+  fleet size (summed across every worker process under ``--procs``).
 
 Everything is deterministic under ``random_seed``: session profiles come
 from :class:`~repro.sim.RandomStreams`, and the kernel replays identically
 (``reference=True`` runs the same workload on the heap oracle kernel).
+
+With ``procs > 1`` the federation is sharded: the coordinator runs the
+*real* control plane to take every admission decision, then partitions the
+sites across a :class:`~repro.sim.ShardPool` of worker processes which
+replay those decisions as pinned submissions and simulate their shards in
+parallel through epoch barriers. Decision outcomes (admission verdicts,
+peak/final fleet, per-site fleet sizes) are identical to ``procs=1`` by
+construction — see DESIGN §14 and :func:`verify_against_oracle`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass
 from typing import Optional
 
-from ..cloud import Host, HypervisorTimings, ImageRepository, VEEM
+from ..cloud import Host, HostType, HypervisorTimings, ImageRepository, VEEM
 from ..control import Admitted, ControlPlane, Queued
 from ..core.manifest import ManifestBuilder
 from ..monitoring import MonitoringAgent
-from ..sim import Environment, RandomStreams
+from ..sim import Environment, RandomStreams, read_peak_rss_kb
 
-__all__ = ["ScaleConfig", "ScaleReport", "run_scale"]
+__all__ = [
+    "ScaleConfig",
+    "ScaleReport",
+    "SessionProfile",
+    "run_scale",
+    "verify_against_oracle",
+]
 
 #: KPI the session drivers publish and the elasticity rules react to.
 SESSIONS_KPI = "scale.app.sessions"
+
+#: Simulated seconds the initial fleet gets to deploy before monitoring
+#: agents attach and the census starts (shared by both execution modes).
+WARMUP_S = 60.0
 
 
 @dataclass(frozen=True)
@@ -53,6 +72,11 @@ class ScaleConfig:
     #: run the workload on the heap oracle kernel instead of the wheel
     reference: bool = False
     random_seed: int = 2010
+
+    #: worker processes; 1 = the in-process oracle path
+    procs: int = 1
+    #: simulated seconds between shard barriers under ``procs > 1``
+    epoch_s: float = 600.0
 
     #: session-KPI publication period (per service)
     monitor_period_s: float = 60.0
@@ -76,6 +100,10 @@ class ScaleConfig:
             raise ValueError("need at least one tenant")
         if not 0.0 <= self.elastic_fraction <= 1.0:
             raise ValueError("elastic_fraction must be in [0, 1]")
+        if self.procs <= 0:
+            raise ValueError("procs must be positive")
+        if self.epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
 
     @property
     def duration_s(self) -> float:
@@ -96,6 +124,33 @@ class ScaleConfig:
         ceiling = self.services_per_site * self.max_instances
         return math.ceil(ceiling / per_host) + 1
 
+    @property
+    def host_type(self) -> HostType:
+        return HostType(self.host_cpu, self.host_memory_mb)
+
+
+@dataclass(frozen=True)
+class SessionProfile:
+    """One admitted service's deterministic session tide, drawn centrally
+    from the seeded stream so every execution mode replays the same tides.
+
+    Picklable by design: under ``procs > 1`` profiles are shipped to shard
+    workers as part of the shard spec.
+    """
+
+    service_index: int
+    service_id: str
+    tenant: str
+    site: str
+    peak_sessions: int
+    start_s: float
+    hold_s: float
+    drain_level: int
+
+    @property
+    def ramp(self) -> tuple[int, int]:
+        return (self.peak_sessions // 2, self.peak_sessions)
+
 
 @dataclass
 class ScaleReport:
@@ -114,6 +169,11 @@ class ScaleReport:
     dead_skipped: int
     wall_s: float
     peak_rss_kb: int
+    procs: int = 1
+    final_vms: int = 0
+    #: per-site active fleet at the end of the run, in site order —
+    #: the decision-outcome fingerprint the oracle comparison uses
+    site_fleets: tuple = ()
 
     @property
     def events_per_sec(self) -> float:
@@ -125,21 +185,37 @@ class ScaleReport:
 
     @property
     def rss_mb_per_1k_vms(self) -> float:
-        """Peak RSS (whole process, interpreter included) per 1000 VMs of
+        """Peak RSS (all processes, interpreters included) per 1000 VMs of
         peak fleet — a coarse, comparable footprint figure."""
         if self.peak_vms <= 0:
             return 0.0
         return (self.peak_rss_kb / 1024.0) / (self.peak_vms / 1000.0)
 
+    def decision_outcomes(self) -> dict:
+        """The deterministic decision fingerprint: everything here must be
+        bit-identical between ``procs=1`` and any sharded run."""
+        return {
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "peak_vms": self.peak_vms,
+            "final_vms": self.final_vms,
+            "site_fleets": tuple(self.site_fleets),
+        }
+
     def render(self) -> str:
         kernel = "heap (reference)" if self.reference else "timer wheel"
+        mode = (f"{self.procs} worker process(es)" if self.procs > 1
+                else "single process")
         lines = [
             f"federation:        {self.sites} site(s), "
             f"{self.services} service(s), {self.hours:g} simulated hour(s)",
             f"kernel:            {kernel}",
+            f"execution:         {mode}",
             f"admitted:          {self.admitted} "
             f"(queued {self.queued}, rejected {self.rejected})",
-            f"peak VMs:          {self.peak_vms}",
+            f"peak VMs:          {self.peak_vms} "
+            f"(final {self.final_vms})",
             f"peak queue depth:  {self.peak_queue_depth}",
             f"events processed:  {self.events_processed} "
             f"({self.dead_skipped} dead entries skipped)",
@@ -150,6 +226,11 @@ class ScaleReport:
         ]
         return "\n".join(lines)
 
+
+# ---------------------------------------------------------------------------
+# Shared building blocks (used by the single-process path, the coordinator
+# and — via :mod:`.scale_worker` — the shard worker processes)
+# ---------------------------------------------------------------------------
 
 def _scale_manifest(cfg: ScaleConfig):
     """One shared SAP-style manifest: a session-serving ``app`` tier whose
@@ -173,67 +254,107 @@ def _scale_manifest(cfg: ScaleConfig):
     return b.build()
 
 
-def _session_driver(env, state, start_s, ramp: tuple[int, ...],
-                    hold_s: float, quiet_s: float, drain_level: int):
+def _build_site_veem(env: Environment, cfg: ScaleConfig, name: str,
+                     trace) -> VEEM:
+    """One site's VEEM with the configured homogeneous host pool."""
+    timings = HypervisorTimings(define_s=1.0, boot_s=10.0, shutdown_s=2.0)
+    veem = VEEM(env, name=name, trace=trace,
+                repository=ImageRepository(bandwidth_mb_per_s=1000.0))
+    for h in range(cfg.hosts_per_site):
+        veem.add_host(Host(env, f"{name}-h{h}",
+                           cpu_cores=cfg.host_cpu,
+                           memory_mb=cfg.host_memory_mb,
+                           timings=timings))
+    return veem
+
+
+def _draw_profile(rng, cfg: ScaleConfig, service_index: int,
+                  service_id: str, tenant: str, site: str) -> SessionProfile:
+    """Draw one admitted service's tide. The draw order (four draws per
+    admitted service, in admission order) is the determinism contract:
+    every execution mode consumes the seeded stream identically."""
+    duration = cfg.duration_s
+    elastic = rng.random() < cfg.elastic_fraction
+    peak_sessions = (int(rng.uniform(100, 150)) if elastic
+                     else int(rng.uniform(40, 70)))
+    start_s = rng.uniform(0.05, 0.4) * duration
+    hold_s = rng.uniform(0.15, 0.3) * duration
+    # Only services that burst past the scale-up threshold drain below
+    # the scale-down threshold afterwards; a service already at its
+    # minimum has nothing to release, and parking it under the
+    # threshold would just no-op the down rule every evaluation.
+    drain_level = 10 if elastic else 30
+    return SessionProfile(
+        service_index=service_index, service_id=service_id,
+        tenant=tenant, site=site,
+        peak_sessions=peak_sessions, start_s=start_s, hold_s=hold_s,
+        drain_level=drain_level)
+
+
+def _session_driver(env, state, profile: SessionProfile, quiet_s: float):
     """SAP-style session tide for one service: ramp up in steps, hold the
     peak, drain (a service that scaled up drains below the scale-down
     threshold, releasing its extra VM), then settle back to the baseline."""
-    yield env.timeout(start_s)
+    yield env.timeout(profile.start_s)
+    ramp = profile.ramp
     for level in ramp:
         state["sessions"] = level
-        yield env.timeout(hold_s / len(ramp))
-    state["sessions"] = drain_level
+        yield env.timeout(profile.hold_s / len(ramp))
+    state["sessions"] = profile.drain_level
     yield env.timeout(quiet_s)
     state["sessions"] = 30          # baseline: between both thresholds
 
 
-def _vm_census(env, veems, peak, period_s):
-    """Periodic live-VM census across every site; tracks the peak fleet."""
+def _start_session_driver(env, profile: SessionProfile,
+                          cfg: ScaleConfig) -> dict:
+    state = {"sessions": 30}
+    env.process(
+        _session_driver(env, state, profile,
+                        quiet_s=6 * cfg.monitor_period_s),
+        name=f"sessions:{profile.service_id}")
+    return state
+
+
+def _attach_agent(env, cfg: ScaleConfig, site_manager, service_id: str,
+                  state: dict) -> MonitoringAgent:
+    agent = MonitoringAgent(env, service_id=service_id, component="app",
+                            network=site_manager.network)
+    agent.expose(SESSIONS_KPI, lambda s=state: s["sessions"],
+                 frequency_s=cfg.monitor_period_s, units="sessions")
+    return agent
+
+
+def _vm_census(env, veems, samples: list, period_s: float):
+    """Periodic live-VM census across the given sites.
+
+    Samples are offset by half a period from the census start so they
+    fall *between* event instants (VM transitions cluster on the monitor
+    grid): the count at each sample time is then independent of
+    same-instant event ordering, which is what lets sharded and
+    single-process runs agree sample-for-sample. The count itself is the
+    O(1) :attr:`~repro.cloud.vmtable.VMTable.active_count` column
+    aggregate, not a fleet scan.
+    """
+    yield env.timeout(period_s / 2.0)
     while True:
         total = 0
         for veem in veems:
-            for vm in veem.vms.values():
-                if vm.is_active:
-                    total += 1
-        if total > peak["vms"]:
-            peak["vms"] = total
+            total += veem.table.active_count
+        samples.append((env.now, total))
         yield env.timeout(period_s)
 
 
-def run_scale(cfg: Optional[ScaleConfig] = None, *,
-              progress=None) -> ScaleReport:
-    """Run one federation scale sweep and measure it."""
-    cfg = cfg or ScaleConfig()
-    say = progress or (lambda _msg: None)
-    try:
-        import resource as _resource
-    except ImportError:                     # non-POSIX: report 0
-        _resource = None
+def _peak_of(samples: list) -> int:
+    return max((total for _t, total in samples), default=0)
 
-    wall_start = time.perf_counter()
-    env = Environment(reference=cfg.reference)
-    rng = RandomStreams(cfg.random_seed).stream("scale")
-    control = ControlPlane(env)
-    timings = HypervisorTimings(define_s=1.0, boot_s=10.0, shutdown_s=2.0)
 
-    say(f"building {cfg.sites} site(s) × {cfg.hosts_per_site} host(s) ...")
-    veems = []
-    for s in range(cfg.sites):
-        veem = VEEM(env, name=f"site-{s}", trace=control.trace,
-                    repository=ImageRepository(bandwidth_mb_per_s=1000.0))
-        for h in range(cfg.hosts_per_site):
-            veem.add_host(Host(env, f"site-{s}-h{h}",
-                               cpu_cores=cfg.host_cpu,
-                               memory_mb=cfg.host_memory_mb,
-                               timings=timings))
-        veems.append(veem)
-        control.add_site(f"site-{s}", veem)
-    for t in range(cfg.tenants):
-        control.register_tenant(f"tenant-{t}", weight=1 + t % 3)
+# ---------------------------------------------------------------------------
+# Admission planning (shared: the single-process run *is* the plan)
+# ---------------------------------------------------------------------------
 
-    manifest = _scale_manifest(cfg)
-    say(f"submitting {cfg.services} service(s) "
-        f"across {cfg.tenants} tenant(s) ...")
+def _submit_all(control: ControlPlane, cfg: ScaleConfig, manifest):
+    """Submit every service through the real control plane; returns
+    (admitted_requests, admitted, queued, rejected)."""
     admitted = queued = rejected = 0
     admitted_requests = []
     for i in range(cfg.services):
@@ -246,64 +367,211 @@ def run_scale(cfg: Optional[ScaleConfig] = None, *,
             queued += 1
         else:
             rejected += 1
+    return admitted_requests, admitted, queued, rejected
+
+
+def _register_tenants(control: ControlPlane, cfg: ScaleConfig) -> None:
+    for t in range(cfg.tenants):
+        control.register_tenant(f"tenant-{t}", weight=1 + t % 3)
+
+
+def _draw_profiles(cfg: ScaleConfig, admitted_requests) -> list[SessionProfile]:
+    rng = RandomStreams(cfg.random_seed).stream("scale")
+    return [
+        _draw_profile(rng, cfg, i, request.service_id, request.tenant,
+                      request.site)
+        for i, request in enumerate(admitted_requests)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Execution: single process (the differential oracle)
+# ---------------------------------------------------------------------------
+
+def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
+    wall_start = time.perf_counter()
+    env = Environment(reference=cfg.reference)
+    control = ControlPlane(env)
+
+    say(f"building {cfg.sites} site(s) × {cfg.hosts_per_site} host(s) ...")
+    veems = []
+    for s in range(cfg.sites):
+        veem = _build_site_veem(env, cfg, f"site-{s}", control.trace)
+        veems.append(veem)
+        control.add_site(f"site-{s}", veem)
+    _register_tenants(control, cfg)
+
+    manifest = _scale_manifest(cfg)
+    say(f"submitting {cfg.services} service(s) "
+        f"across {cfg.tenants} tenant(s) ...")
+    admitted_requests, admitted, queued, rejected = _submit_all(
+        control, cfg, manifest)
 
     # Session tides: every service gets one burst; a seeded fraction bursts
     # past the scale-up threshold and grows its app tier until the tide
     # drains. Profiles are drawn deterministically from the seeded stream.
-    duration = cfg.duration_s
-    states = []
-    for i, request in enumerate(admitted_requests):
-        state = {"sessions": 30}
-        states.append(state)
-        elastic = rng.random() < cfg.elastic_fraction
-        peak_sessions = (int(rng.uniform(100, 150)) if elastic
-                         else int(rng.uniform(40, 70)))
-        start_s = rng.uniform(0.05, 0.4) * duration
-        hold_s = rng.uniform(0.15, 0.3) * duration
-        ramp = (peak_sessions // 2, peak_sessions)
-        # Only services that burst past the scale-up threshold drain below
-        # the scale-down threshold afterwards; a service already at its
-        # minimum has nothing to release, and parking it under the
-        # threshold would just no-op the down rule every evaluation.
-        drain_level = 10 if elastic else 30
-        env.process(
-            _session_driver(env, state, start_s, ramp, hold_s,
-                            quiet_s=6 * cfg.monitor_period_s,
-                            drain_level=drain_level),
-            name=f"sessions:{request.service_id}")
+    profiles = _draw_profiles(cfg, admitted_requests)
+    states = [_start_session_driver(env, profile, cfg)
+              for profile in profiles]
 
     say("deploying and wiring monitoring agents ...")
     # Let the initial fleet deploy, then attach one agent per service so
     # the KPI stream flows through each site's monitoring network.
-    env.run(until=60.0)
+    env.run(until=WARMUP_S)
+    site_by_name = {s.name: s for s in control.sites}
     for request, state in zip(admitted_requests, states):
         if request.service is None:
             continue
-        site = next(s for s in control.sites if s.name == request.site)
-        agent = MonitoringAgent(env, service_id=request.service_id,
-                                component="app",
-                                network=site.manager.network)
-        agent.expose(SESSIONS_KPI, lambda s=state: s["sessions"],
-                     frequency_s=cfg.monitor_period_s, units="sessions")
+        site = site_by_name[request.site]
+        _attach_agent(env, cfg, site.manager, request.service_id, state)
 
-    peak = {"vms": 0}
-    env.process(_vm_census(env, veems, peak, cfg.sample_period_s),
+    samples: list = []
+    env.process(_vm_census(env, veems, samples, cfg.sample_period_s),
                 name="vm-census")
 
     say(f"running {cfg.hours:g} simulated hour(s) ...")
-    env.run(until=duration)
+    env.run(until=cfg.duration_s)
 
     wall_s = time.perf_counter() - wall_start
-    peak_rss_kb = (_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
-                   if _resource is not None else 0)
     depth_series = control.series["queue.depth"]
+    site_fleets = tuple(
+        (f"site-{s}", veems[s].table.active_count)
+        for s in range(cfg.sites))
     return ScaleReport(
         sites=cfg.sites, services=cfg.services, hours=cfg.hours,
         reference=cfg.reference,
         admitted=admitted, queued=queued, rejected=rejected,
-        peak_vms=peak["vms"],
+        peak_vms=_peak_of(samples),
         peak_queue_depth=int(depth_series.maximum()),
         events_processed=env.events_processed,
         dead_skipped=env.dead_skipped,
-        wall_s=wall_s, peak_rss_kb=int(peak_rss_kb),
+        wall_s=wall_s, peak_rss_kb=int(read_peak_rss_kb()),
+        procs=1,
+        final_vms=sum(count for _name, count in site_fleets),
+        site_fleets=site_fleets,
     )
+
+
+# ---------------------------------------------------------------------------
+# Execution: sharded across worker processes
+# ---------------------------------------------------------------------------
+
+def _run_scale_sharded(cfg: ScaleConfig, say) -> ScaleReport:
+    # Imported lazily: scale_worker imports this module for the shared
+    # building blocks, so the dependency must stay one-way at import time.
+    from ..sim import ShardPool, partition_round_robin
+    from .scale_worker import ShardSpec, make_shard
+
+    wall_start = time.perf_counter()
+
+    # Phase 1 — plan admission with the REAL control plane. The planning
+    # environment never runs: submission outcomes are decided synchronously
+    # at submit() time (there are no capacity releases during a scale run),
+    # so hostless sites with explicitly-shaped admission pools reproduce
+    # the single-process decisions exactly, without building any host or
+    # deploying any VM in the coordinator.
+    say(f"planning admission for {cfg.services} service(s) "
+        f"across {cfg.sites} site(s) ...")
+    plan_env = Environment()
+    plan_control = ControlPlane(plan_env)
+    site_names = [f"site-{s}" for s in range(cfg.sites)]
+    for name in site_names:
+        veem = VEEM(plan_env, name=name, trace=plan_control.trace)
+        plan_control.add_site(name, veem,
+                              pool_hosts=cfg.hosts_per_site,
+                              host_type=cfg.host_type)
+    _register_tenants(plan_control, cfg)
+    manifest = _scale_manifest(cfg)
+    admitted_requests, admitted, queued, rejected = _submit_all(
+        plan_control, cfg, manifest)
+    profiles = _draw_profiles(cfg, admitted_requests)
+    depth_series = plan_control.series["queue.depth"]
+
+    # Phase 2 — partition sites round-robin and ship each shard its pinned
+    # replay: the admission decisions (site bindings) and session profiles
+    # are the only cross-process traffic besides epoch barriers.
+    buckets = partition_round_robin(site_names, cfg.procs)
+    by_site: dict[str, list[SessionProfile]] = {name: [] for name in site_names}
+    for profile in profiles:
+        by_site[profile.site].append(profile)
+    specs = []
+    for shard, bucket in enumerate(buckets):
+        shard_profiles = [p for name in bucket for p in by_site[name]]
+        shard_profiles.sort(key=lambda p: p.service_index)
+        specs.append(ShardSpec(shard=shard, cfg=cfg,
+                               site_names=tuple(bucket),
+                               profiles=tuple(shard_profiles)))
+
+    say(f"running {cfg.hours:g} simulated hour(s) on "
+        f"{cfg.procs} worker process(es), epoch {cfg.epoch_s:g} s ...")
+    duration = cfg.duration_s
+    events_processed = 0
+    dead_skipped = 0
+    with ShardPool(make_shard, specs) as pool:
+        now = WARMUP_S
+        while now < duration:
+            now = min(now + cfg.epoch_s, duration)
+            pool.epoch(now)
+        finals = pool.stop()
+
+    # Phase 3 — merge: census samples share one time grid across shards,
+    # so the federation-wide fleet at each sample is the per-shard sum.
+    merged: dict[float, int] = {}
+    fleet_by_site: dict[str, int] = {}
+    workers_rss_kb = 0
+    for report in finals:
+        events_processed += report.events_processed
+        dead_skipped += report.payload.get("dead_skipped", 0)
+        workers_rss_kb += report.peak_rss_kb
+        for t, total in report.payload["samples"]:
+            merged[t] = merged.get(t, 0) + total
+        fleet_by_site.update(report.payload["site_fleets"])
+    peak_vms = max(merged.values(), default=0)
+    site_fleets = tuple((name, fleet_by_site.get(name, 0))
+                        for name in site_names)
+
+    wall_s = time.perf_counter() - wall_start
+    return ScaleReport(
+        sites=cfg.sites, services=cfg.services, hours=cfg.hours,
+        reference=cfg.reference,
+        admitted=admitted, queued=queued, rejected=rejected,
+        peak_vms=peak_vms,
+        peak_queue_depth=int(depth_series.maximum()),
+        events_processed=events_processed,
+        dead_skipped=dead_skipped,
+        wall_s=wall_s,
+        peak_rss_kb=int(read_peak_rss_kb()) + workers_rss_kb,
+        procs=cfg.procs,
+        final_vms=sum(count for _name, count in site_fleets),
+        site_fleets=site_fleets,
+    )
+
+
+def run_scale(cfg: Optional[ScaleConfig] = None, *,
+              progress=None) -> ScaleReport:
+    """Run one federation scale sweep and measure it."""
+    cfg = cfg or ScaleConfig()
+    say = progress or (lambda _msg: None)
+    if cfg.procs > 1:
+        return _run_scale_sharded(cfg, say)
+    return _run_scale_single(cfg, say)
+
+
+def verify_against_oracle(cfg: ScaleConfig, *,
+                          progress=None) -> tuple[ScaleReport, ScaleReport,
+                                                  list[str]]:
+    """Run sharded and single-process with the same config; returns both
+    reports plus a list of decision-outcome divergences (empty = agree)."""
+    if cfg.procs <= 1:
+        raise ValueError("verify_against_oracle needs procs > 1")
+    sharded = run_scale(cfg, progress=progress)
+    oracle = run_scale(dataclasses.replace(cfg, procs=1),
+                       progress=progress)
+    ours = sharded.decision_outcomes()
+    theirs = oracle.decision_outcomes()
+    divergences = [
+        f"{key}: sharded={ours[key]!r} oracle={theirs[key]!r}"
+        for key in theirs
+        if ours[key] != theirs[key]
+    ]
+    return sharded, oracle, divergences

@@ -1,0 +1,126 @@
+"""Shard worker for the sharded scale harness (spawn-safe module).
+
+Each worker process owns one shard of the federation: it rebuilds its
+sites (hosts included), replays the coordinator's admission decisions as
+*pinned* submissions through a local :class:`~repro.control.ControlPlane`,
+drives the shipped session profiles, and advances its private kernel
+between epoch barriers. Everything here is module-level and every spec
+field is picklable — the ``spawn`` start method imports this module fresh
+in the child.
+
+A pinned replay that does not come back :class:`~repro.control.Admitted`
+is an oracle divergence (the worker's per-site admission state no longer
+matches the coordinator's plan) and raises immediately — surfaced to the
+coordinator as a :class:`~repro.sim.ShardError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..control import Admitted, ControlPlane
+from ..sim import Environment, EpochReport, read_peak_rss_kb
+from .scale import (
+    WARMUP_S,
+    ScaleConfig,
+    SessionProfile,
+    _attach_agent,
+    _build_site_veem,
+    _scale_manifest,
+    _start_session_driver,
+    _vm_census,
+)
+
+__all__ = ["ShardSpec", "ScaleShard", "make_shard"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs: its sites and the pinned replay
+    (profiles carry the admission decisions' site bindings, in global
+    submission order restricted to this shard)."""
+
+    shard: int
+    cfg: ScaleConfig
+    site_names: tuple[str, ...]
+    profiles: tuple[SessionProfile, ...]
+
+
+class ScaleShard:
+    """One shard's private simulation, driven through epoch barriers."""
+
+    def __init__(self, spec: ShardSpec):
+        self.spec = spec
+        cfg = spec.cfg
+        self.env = Environment(reference=cfg.reference)
+        self.control = ControlPlane(self.env)
+        self.veems = []
+        for name in spec.site_names:
+            veem = _build_site_veem(self.env, cfg, name, self.control.trace)
+            self.veems.append(veem)
+            self.control.add_site(name, veem)
+        for t in range(cfg.tenants):
+            self.control.register_tenant(f"tenant-{t}", weight=1 + t % 3)
+
+        # Pinned replay of the coordinator's admission decisions. Per-site
+        # admission state sees the same manifests in the same order as the
+        # coordinator's global pass restricted to this shard, so every
+        # replay must admit; anything else is an oracle divergence.
+        manifest = _scale_manifest(cfg)
+        self.requests = []
+        self.states = []
+        for profile in spec.profiles:
+            outcome = self.control.submit(
+                profile.tenant, manifest,
+                service_id=profile.service_id, site=profile.site)
+            if not isinstance(outcome, Admitted):
+                raise RuntimeError(
+                    f"shard {spec.shard}: pinned replay of "
+                    f"{profile.service_id} on {profile.site} was not "
+                    f"admitted: {outcome!r}")
+            self.requests.append(outcome.request)
+            self.states.append(_start_session_driver(self.env, profile, cfg))
+
+        # Same warm-up as the oracle: deploy the initial fleet, then wire
+        # the monitoring agents and start the census on the shared grid.
+        self.env.run(until=WARMUP_S)
+        site_by_name = {s.name: s for s in self.control.sites}
+        for profile, request, state in zip(spec.profiles, self.requests,
+                                           self.states):
+            if request.service is None:
+                continue
+            site = site_by_name[profile.site]
+            _attach_agent(self.env, cfg, site.manager,
+                          profile.service_id, state)
+        self.samples: list = []
+        self.env.process(
+            _vm_census(self.env, self.veems, self.samples,
+                       cfg.sample_period_s),
+            name=f"vm-census:shard-{spec.shard}")
+
+    def run_epoch(self, until: float) -> EpochReport:
+        self.env.run(until=until)
+        return EpochReport(
+            shard=self.spec.shard, now=self.env.now,
+            events_processed=self.env.events_processed)
+
+    def finish(self) -> EpochReport:
+        site_fleets = [
+            (name, veem.table.active_count)
+            for name, veem in zip(self.spec.site_names, self.veems)
+        ]
+        return EpochReport(
+            shard=self.spec.shard, now=self.env.now,
+            events_processed=self.env.events_processed,
+            peak_rss_kb=read_peak_rss_kb(),
+            payload={
+                "samples": self.samples,
+                "site_fleets": site_fleets,
+                "dead_skipped": self.env.dead_skipped,
+            })
+
+
+def make_shard(spec: ShardSpec) -> ScaleShard:
+    """Factory handed to :class:`~repro.sim.ShardPool` (module-level so the
+    spawn pickler ships it by reference)."""
+    return ScaleShard(spec)

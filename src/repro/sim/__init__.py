@@ -2,8 +2,9 @@
 
 The kernel on which the whole reproduction runs: event loop and processes
 (:mod:`~repro.sim.kernel`), shared resources (:mod:`~repro.sim.resources`),
-structured tracing and time-series recording (:mod:`~repro.sim.tracing`), and
-seeded random streams (:mod:`~repro.sim.rng`).
+structured tracing and time-series recording (:mod:`~repro.sim.tracing`),
+seeded random streams (:mod:`~repro.sim.rng`), and process-sharded execution
+with epoch barriers (:mod:`~repro.sim.shard`).
 """
 
 from .kernel import (
@@ -19,6 +20,14 @@ from .kernel import (
 )
 from .resources import Container, FilterStore, Resource, Store
 from .rng import RandomStreams, lognormal_from_mean_cv, truncated_normal
+from .shard import (
+    EpochCommand,
+    EpochReport,
+    ShardError,
+    ShardPool,
+    partition_round_robin,
+    read_peak_rss_kb,
+)
 from .tracing import (
     SeriesRecorder,
     Span,
@@ -46,6 +55,12 @@ __all__ = [
     "RandomStreams",
     "lognormal_from_mean_cv",
     "truncated_normal",
+    "EpochCommand",
+    "EpochReport",
+    "ShardError",
+    "ShardPool",
+    "partition_round_robin",
+    "read_peak_rss_kb",
     "SeriesRecorder",
     "Span",
     "SpanError",

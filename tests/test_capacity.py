@@ -145,3 +145,67 @@ def test_multiple_small_services_share_hosts():
 def test_admission_pool_validation():
     with pytest.raises(ValueError):
         AdmissionController(pool_hosts=0)
+
+
+# ---------------------------------------------------------------------------
+# Struct-of-arrays admission vs. the repack oracle
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def _manifest(spec):
+    """Build a manifest from a draw: list of (cpu, mem, lo, hi, cap)."""
+    b = ManifestBuilder(f"svc-{abs(hash(tuple(spec))) % 10 ** 8}")
+    for i, (cpu, mem, lo, hi, cap) in enumerate(spec):
+        name = f"c{i}"
+        b.component(name, image_mb=64, cpu=cpu, memory_mb=mem,
+                    initial=lo, minimum=lo, maximum=hi)
+        if hi > lo:
+            b.kpi("K", name, f"m{i}.load", default=0)
+            b.rule(f"up{i}", f"@m{i}.load > 1", f"deployVM({name})")
+        if cap is not None:
+            b.per_host_cap(name, cap)
+    return b.build()
+
+
+_component = st.tuples(
+    st.sampled_from([0.5, 1.0, 2.0, 4.0]),            # cpu
+    st.sampled_from([512.0, 1024.0, 2048.0, 8192.0]),  # memory
+    st.integers(0, 2),                                 # minimum
+    st.integers(1, 6),                                 # extra above minimum
+    st.sampled_from([None, 1, 2, 4]),                  # per-host cap
+).map(lambda t: (t[0], t[1], t[2], t[2] + t[3], t[4]))
+
+_manifests = st.lists(
+    st.lists(_component, min_size=1, max_size=3).map(_manifest),
+    min_size=1, max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=_manifests, pool=st.integers(1, 12),
+       data=st.data())
+def test_incremental_admission_matches_repack_oracle(specs, pool, data):
+    """The table-backed controller must agree with a from-scratch
+    ``plan_capacity`` repack after every admit/release — same verdicts,
+    same committed plan."""
+    host = HostType(4, 8192)
+    controller = AdmissionController(pool_hosts=pool, host=host)
+    for manifest in specs:
+        oracle = plan_capacity(controller.admitted + [manifest], host)
+        expected = oracle.hosts_for_ceiling <= pool
+        assert controller.can_admit(manifest) is expected
+        if expected:
+            controller.admit(manifest)
+        if controller.admitted and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(controller.admitted))
+            controller.release(victim)
+        plan = controller.committed_plan
+        truth = plan_capacity(controller.admitted, host)
+        assert plan.hosts_for_ceiling == truth.hosts_for_ceiling
+        assert plan.hosts_for_floor == truth.hosts_for_floor
+        assert plan.ceiling_cpu == pytest.approx(truth.ceiling_cpu)
+        assert plan.ceiling_memory_mb == pytest.approx(truth.ceiling_memory_mb)
+        assert plan.floor_cpu == pytest.approx(truth.floor_cpu)
+        assert plan.floor_memory_mb == pytest.approx(truth.floor_memory_mb)

@@ -404,3 +404,64 @@ def test_duplicate_registration_is_refused():
     control.register_tenant("acme")
     with pytest.raises(ValueError, match="duplicate tenant"):
         control.register_tenant("acme")
+
+
+# ---------------------------------------------------------------------------
+# Pinned submissions (the shard-replay path)
+# ---------------------------------------------------------------------------
+
+def test_pinned_submit_admits_on_the_named_site():
+    env = Environment()
+    control = ControlPlane(env)
+    control.add_site("a", make_veem(env, 1))
+    control.add_site("b", make_veem(env, 4))
+    control.register_tenant("acme")
+    out = control.submit("acme", host_filler("svc"), site="a")
+    assert isinstance(out, Admitted) and out.site == "a"
+    drain_all(env)
+    assert out.request.state is RequestState.ACTIVE
+
+
+def test_pinned_submit_rejects_instead_of_queueing():
+    env = Environment()
+    control = ControlPlane(env)
+    control.add_site("a", make_veem(env, 1))
+    control.register_tenant("acme")
+    assert isinstance(control.submit("acme", host_filler("first"),
+                                     site="a"), Admitted)
+    out = control.submit("acme", host_filler("second"), site="a")
+    assert isinstance(out, Rejected)
+    assert "cannot admit" in out.reason
+    assert control.queue_depth == 0
+
+
+def test_pinned_submit_respects_site_eligibility():
+    env = Environment()
+    control = ControlPlane(env)
+    control.add_site("a", make_veem(env, 2))
+    control.register_tenant("acme")
+    manifest = host_filler("svc", avoid=("a",))
+    out = control.submit("acme", manifest, site="a")
+    assert isinstance(out, Rejected)
+    assert "not eligible" in out.reason
+
+
+def test_pinned_submit_respects_tenant_quota():
+    env = Environment()
+    control = ControlPlane(env)
+    control.add_site("a", make_veem(env, 4))
+    control.register_tenant("acme", quota=TenantQuota(max_services=1))
+    assert isinstance(control.submit("acme", host_filler("first"),
+                                     site="a"), Admitted)
+    out = control.submit("acme", host_filler("second"), site="a")
+    assert isinstance(out, Rejected)
+    assert "quota" in out.reason
+
+
+def test_pinned_submit_unknown_site_is_an_error():
+    env = Environment()
+    control = ControlPlane(env)
+    control.add_site("a", make_veem(env, 2))
+    control.register_tenant("acme")
+    with pytest.raises(KeyError):
+        control.submit("acme", host_filler("svc"), site="nope")

@@ -7,7 +7,8 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ScaleConfig, ScaleReport, run_scale
-from repro.experiments.scale import SESSIONS_KPI
+from repro.experiments.scale import SESSIONS_KPI, verify_against_oracle
+from repro.sim import read_peak_rss_kb
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -124,3 +125,52 @@ def test_cli_scale_smoke():
 def test_sessions_kpi_name_is_stable():
     # The manifest rules and the monitoring agents must agree on this name.
     assert SESSIONS_KPI == "scale.app.sessions"
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution vs the single-process oracle
+# ---------------------------------------------------------------------------
+
+def test_sharded_run_matches_oracle_decision_for_decision():
+    """`--procs 4` must reproduce the single-process oracle's admission
+    outcomes, peak/final fleet sizes, and per-site fleets exactly."""
+    cfg = ScaleConfig(sites=4, services=24, hours=0.5, tenants=3,
+                      random_seed=7, procs=4, epoch_s=300.0)
+    sharded, oracle, divergences = verify_against_oracle(cfg)
+    assert divergences == []
+    assert sharded.procs == 4 and oracle.procs == 1
+    assert sharded.admitted == oracle.admitted
+    assert sharded.queued == oracle.queued
+    assert sharded.rejected == oracle.rejected
+    assert sharded.peak_vms == oracle.peak_vms
+    assert sharded.final_vms == oracle.final_vms
+    assert sharded.site_fleets == oracle.site_fleets
+
+
+def test_sharded_rss_aggregates_workers():
+    """Peak RSS under --procs > 1 must include the worker processes, so
+    it always exceeds a lone coordinator's footprint."""
+    cfg = ScaleConfig(sites=2, services=8, hours=0.25, random_seed=3,
+                      procs=2)
+    report = run_scale(cfg)
+    # coordinator + 2 interpreters: strictly more than any one process
+    assert report.peak_rss_kb > read_peak_rss_kb()
+
+
+def test_sharded_more_procs_than_sites():
+    """Empty shards (procs > sites) must be harmless."""
+    cfg = ScaleConfig(sites=2, services=8, hours=0.25, random_seed=3)
+    single = run_scale(cfg)
+    sharded = run_scale(ScaleConfig(sites=2, services=8, hours=0.25,
+                                    random_seed=3, procs=3))
+    assert sharded.decision_outcomes() == single.decision_outcomes()
+
+
+def test_cli_scale_verify_oracle_smoke():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "scale", "--sites", "2",
+         "--services", "8", "--hours", "0.25", "--seed", "5",
+         "--procs", "2", "--verify-oracle"],
+        capture_output=True, text=True, env={"PYTHONPATH": SRC, "PATH": ""},
+        check=True)
+    assert "oracle agreement" in out.stdout

@@ -1,0 +1,146 @@
+"""Tests for the struct-of-arrays VM fleet table (repro.cloud.vmtable)."""
+
+import pytest
+
+from repro.cloud import (
+    DiskImage,
+    Host,
+    HypervisorTimings,
+    ImageRepository,
+    VEEM,
+)
+from repro.cloud.vm import DeploymentDescriptor, VirtualMachine, VMState
+from repro.cloud.vmtable import ACTIVE_CODES, STATE_CODE, VMTable
+from repro.sim import Environment
+
+
+def make_vm(env, vm_id, *, cpu=1.0, memory_mb=1024.0, service_id=None,
+            component_id=None):
+    return VirtualMachine(env, vm_id, DeploymentDescriptor(
+        name=vm_id, memory_mb=memory_mb, cpu=cpu, disk_source="img://d",
+        service_id=service_id, component_id=component_id))
+
+
+def run_to_stopped(vm):
+    for state in (VMState.STAGING, VMState.BOOTING, VMState.RUNNING,
+                  VMState.SHUTTING_DOWN, VMState.STOPPED):
+        vm.transition(state)
+
+
+# ---------------------------------------------------------------------------
+# Encoding and registration
+# ---------------------------------------------------------------------------
+
+def test_state_codes_cover_every_state():
+    assert set(STATE_CODE) == set(VMState)
+    assert STATE_CODE[VMState.STOPPED] not in ACTIVE_CODES
+    assert STATE_CODE[VMState.FAILED] not in ACTIVE_CODES
+    assert STATE_CODE[VMState.RUNNING] in ACTIVE_CODES
+
+
+def test_add_wires_vm_into_table():
+    env = Environment()
+    table = VMTable()
+    vm = make_vm(env, "vm-0", cpu=2.0, memory_mb=4096.0,
+                 service_id="svc", component_id="app")
+    index = table.add(vm)
+    assert vm._table is table and vm._table_index == index
+    assert len(table) == 1
+    assert table.cpu[index] == 2.0
+    assert table.memory[index] == 4096.0
+    assert table.active_count == 1
+
+
+def test_transitions_update_column_and_active_count():
+    env = Environment()
+    table = VMTable()
+    vms = [make_vm(env, f"vm-{i}") for i in range(3)]
+    for vm in vms:
+        table.add(vm)
+    assert table.active_count == 3
+    run_to_stopped(vms[0])
+    assert table.active_count == 2
+    vms[1].transition(VMState.FAILED)
+    assert table.active_count == 1
+    assert table.state[0] == STATE_CODE[VMState.STOPPED]
+    assert table.state[1] == STATE_CODE[VMState.FAILED]
+
+
+def test_scans_filter_by_service_and_component():
+    env = Environment()
+    table = VMTable()
+    a = make_vm(env, "a", service_id="svc-1", component_id="app")
+    b = make_vm(env, "b", service_id="svc-1", component_id="db")
+    c = make_vm(env, "c", service_id="svc-2", component_id="app")
+    for vm in (a, b, c):
+        table.add(vm)
+    assert table.active_vms(service_id="svc-1") == [a, b]
+    assert table.active_vms(component_id="app") == [a, c]
+    assert table.active_vms(service_id="svc-1", component_id="app") == [a]
+    # Names never interned match nothing (no KeyError, no false positives).
+    assert table.active_vms(service_id="missing") == []
+    run_to_stopped(a)
+    assert table.active_vms(component_id="app") == [c]
+
+
+def test_running_only_scan():
+    env = Environment()
+    table = VMTable()
+    vm = make_vm(env, "vm-0")
+    table.add(vm)
+    assert table.active_vms(running_only=True) == []
+    vm.transition(VMState.STAGING)
+    vm.transition(VMState.BOOTING)
+    vm.transition(VMState.RUNNING)
+    assert table.active_vms(running_only=True) == [vm]
+
+
+def test_active_capacity_and_state_counts():
+    env = Environment()
+    table = VMTable()
+    small = make_vm(env, "s", cpu=1.0, memory_mb=1024.0)
+    big = make_vm(env, "b", cpu=2.0, memory_mb=2048.0)
+    table.add(small)
+    table.add(big)
+    assert table.active_capacity() == (3.0, 3072.0)
+    run_to_stopped(big)
+    assert table.active_capacity() == (1.0, 1024.0)
+    counts = table.state_counts()
+    assert counts[VMState.PENDING] == 1
+    assert counts[VMState.STOPPED] == 1
+
+
+# ---------------------------------------------------------------------------
+# VEEM integration: the table is the fleet's bookkeeping
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def veem_env():
+    env = Environment()
+    repo = ImageRepository(bandwidth_mb_per_s=1000)
+    veem = VEEM(env, repository=repo)
+    veem.add_host(Host(env, "h0", cpu_cores=4, memory_mb=8192,
+                       timings=HypervisorTimings(define_s=1, boot_s=10,
+                                                 shutdown_s=2)))
+    return env, veem
+
+
+def test_veem_table_tracks_submitted_fleet(veem_env):
+    env, veem = veem_env
+    image = veem.repository.register(
+        DiskImage("app-image", "img://app", size_mb=64))
+    desc = DeploymentDescriptor(name="app", memory_mb=1024, cpu=1,
+                                disk_source=image.href,
+                                service_id="svc", component_id="app")
+    vm = veem.submit(desc)
+    assert veem.table.vms[-1] is vm
+    assert veem.active_vm_count == 1
+    env.run(until=60)
+    assert vm.state is VMState.RUNNING
+    assert veem.active_vms(service_id="svc") == [vm]
+    assert veem.running_vms() == [vm]
+    veem.shutdown(vm)
+    env.run(until=120)
+    assert vm.state is VMState.STOPPED
+    assert veem.active_vm_count == 0
+    assert veem.table.active_vms() == []
