@@ -33,6 +33,8 @@ HEADLINE = (
     "test_probe_emission_throughput",
     "test_codec_header_peek",
     "test_control_plane_churn",
+    "test_solver_fallback_admission",
+    "test_whatif_federation_probe",
     "test_obs_overhead",
     "test_kernel_10m_events",
     "test_vm_table_capacity_scan",

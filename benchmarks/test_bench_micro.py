@@ -354,6 +354,75 @@ def test_control_plane_churn(benchmark):
     assert benchmark(churn) == 8
 
 
+def test_solver_fallback_admission(benchmark):
+    """Greedy-fails → solver-rescues round trip: submit a service whose
+    sequential placement strands an instance on a 2-host site, let the
+    control plane re-plan it with the constraint solver and drive the
+    pinned deployment to ACTIVE. Gates the full fallback path — encode,
+    search, pin replay — that runs between a CapacityError and a reject."""
+    from repro.cloud import Host, HypervisorTimings, ImageRepository, VEEM
+    from repro.control import ControlPlane, RequestState
+    from repro.core.manifest import ManifestBuilder
+
+    timings = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2)
+    builder = ManifestBuilder("ragged")
+    for name, cpu in (("a", 5), ("b", 4), ("c", 6), ("d", 5)):
+        builder.component(name, image_mb=64, cpu=cpu, memory_mb=1024)
+    manifest = builder.build()
+
+    def rescue():
+        env = Environment()
+        control = ControlPlane(env)
+        veem = VEEM(env,
+                    repository=ImageRepository(bandwidth_mb_per_s=1000))
+        for i in range(2):
+            veem.add_host(Host(env, f"h{i}", cpu_cores=10, memory_mb=16384,
+                               timings=timings))
+        control.add_site("site", veem)
+        control.register_tenant("t")
+        outcome = control.submit("t", manifest)
+        env.run(until=500)
+        assert outcome.request.state is RequestState.ACTIVE
+        return int(control._m_solver_rescued.value)
+
+    assert benchmark(rescue) == 1
+
+
+def test_whatif_federation_probe(benchmark):
+    """Exact what-if probe across a partially loaded 4-site federation:
+    greedy verdict per site plus the solver's second opinion where FFD
+    refuses. what_if is pure, so one federation serves every iteration."""
+    from repro.cloud import Host, HypervisorTimings, ImageRepository, VEEM
+    from repro.control import ControlPlane
+    from repro.core.manifest import ManifestBuilder
+
+    timings = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2)
+    env = Environment()
+    control = ControlPlane(env)
+    for s in range(4):
+        veem = VEEM(env, name=f"site-{s}",
+                    repository=ImageRepository(bandwidth_mb_per_s=1000))
+        for i in range(4):
+            veem.add_host(Host(env, f"site-{s}-h{i}", cpu_cores=10,
+                               memory_mb=16384, timings=timings))
+        control.add_site(f"site-{s}", veem)
+    control.register_tenant("t")
+    filler = (ManifestBuilder("filler")
+              .component("app", image_mb=64, cpu=6, memory_mb=8192)
+              .build())
+    for i in range(6):
+        control.submit("t", filler, service_id=f"filler-{i}")
+    env.run(until=500)
+    probe = ManifestBuilder("probe")
+    for name, cpu in (("a", 5), ("b", 4), ("c", 4), ("d", 3),
+                      ("e", 2), ("f", 2)):
+        probe.component(name, image_mb=64, cpu=cpu, memory_mb=512)
+    probe = probe.build()
+
+    report = benchmark(control.what_if, probe)
+    assert report.fits or report.solver_only
+
+
 def test_kernel_10m_events(benchmark):
     """Pure-timeout churn, 10M events, at the scale harness's signature
     shape: synchronized waves of same-instant timeouts (every monitoring

@@ -21,6 +21,11 @@ Commands
     Plan provider capacity for a workload mix (§8): hosts needed for the
     guaranteed floor and the worst-case ceiling; with ``--hosts`` also run
     admission control over the pool.
+``plan <manifest> [--sites N] [--hosts N]``
+    What-if admission over a synthetic federation: would the manifest fit,
+    on which site, at what committed cost? Site-by-site verdicts include
+    the exact solver's second opinion where greedy FFD admission refuses;
+    exit 0 iff the manifest fits somewhere.
 ``control-demo [--tenants N] [--services N] [--hosts N]``
     Run the multi-tenant control-plane demo: tenants burst-submit services
     against a two-site federation, the plane admits what fits, queues the
@@ -191,6 +196,36 @@ def _cmd_capacity(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from .cloud import Host, HypervisorTimings, ImageRepository, VEEM
+    from .control import ControlPlane
+    from .sim import Environment
+
+    manifest = _load_manifest(args.manifest)
+    env = Environment()
+    control = ControlPlane(env)
+    timings = HypervisorTimings()
+    for s in range(args.sites):
+        name = f"site-{s}"
+        veem = VEEM(env, name=name,
+                    repository=ImageRepository(bandwidth_mb_per_s=1000))
+        for i in range(args.hosts):
+            veem.add_host(Host(env, f"{name}-h{i}",
+                               cpu_cores=args.host_cpu,
+                               memory_mb=args.host_memory, timings=timings))
+        control.add_site(name, veem)
+    # Pre-admit copies of the manifest to probe a partially-committed
+    # federation rather than an empty one.
+    remaining = args.admitted
+    for site in control.sites:
+        while remaining > 0 and site.admission.can_admit(manifest):
+            site.admission.admit(manifest)
+            remaining -= 1
+    report = control.what_if(manifest, exact=not args.greedy_only)
+    print(report.render())
+    return 0 if report.fits else 1
+
+
 def _build_demo_plane(env, trace, args):
     """A two-site federation sharing one trace log (causal chains cross
     the control plane / VEEM boundary, so every layer must write to the
@@ -349,6 +384,7 @@ def _cmd_scale(args) -> int:
         random_seed=args.seed, monitor_period_s=args.monitor_period,
         elastic_fraction=args.elastic_fraction,
         procs=args.procs, epoch_s=args.epoch,
+        defrag_every_h=args.defrag_every,
     )
     say = lambda m: print(m, file=sys.stderr)  # noqa: E731
     if args.verify_oracle:
@@ -464,6 +500,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host-memory", type=float, default=8192.0)
     p.set_defaults(func=_cmd_capacity)
 
+    p = sub.add_parser("plan",
+                       help="what-if admission: would this manifest fit, "
+                            "where, at what committed cost? (DESIGN §15)")
+    p.add_argument("manifest")
+    p.add_argument("--sites", type=int, default=2)
+    p.add_argument("--hosts", type=int, default=4,
+                   help="hosts per site")
+    p.add_argument("--host-cpu", type=float, default=4.0)
+    p.add_argument("--host-memory", type=float, default=8192.0)
+    p.add_argument("--admitted", type=int, default=0,
+                   help="pre-admit this many copies of the manifest "
+                        "before probing")
+    p.add_argument("--greedy-only", action="store_true",
+                   help="skip the exact solver second opinion")
+    p.set_defaults(func=_cmd_plan)
+
     p = sub.add_parser("control-demo",
                        help="multi-tenant control-plane demo (DESIGN §11)")
     p.add_argument("--tenants", type=int, default=4)
@@ -494,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "sites across a spawn pool with epoch barriers")
     p.add_argument("--epoch", type=float, default=600.0,
                    help="simulated seconds between shard barriers")
+    p.add_argument("--defrag-every", type=float, default=0.0,
+                   metavar="H",
+                   help="run a defragmenting migration pass per site every "
+                        "H simulated hours (0 = off)")
     p.add_argument("--verify-oracle", action="store_true",
                    help="also run the --procs 1 oracle and fail on any "
                         "decision-outcome divergence")

@@ -458,6 +458,30 @@ class AdmissionController:
         self._ceiling.remove(token)
         self._version += 1
 
+    def probe(self, manifest: ServiceManifest) -> int:
+        """Hosts the committed worst case plus this manifest would need.
+
+        Pure what-if: a full FFD pack with no pool limit and no caches
+        touched — nothing about the controller (or its memos) changes, so
+        federation-wide probes are observably side-effect free.
+        """
+        envelope = demand_envelope(manifest)
+        track = (self._ceiling.capped_rows > 0
+                 or any(d.per_host_cap is not None
+                        for d in envelope.ceiling))
+        return _pack_rows(self._ceiling.rows_with(envelope.ceiling),
+                          self.host, track_counts=track)
+
+    def committed_rows(self) -> list[tuple[int, str, float, float,
+                                           Optional[int]]]:
+        """The committed ceiling as ``(owner_token, component, cpu,
+        memory_mb, per_host_cap)`` rows in FFD order — the admission side
+        of the constraint-model encoding (``repro.solver.encode``)."""
+        t = self._ceiling
+        return [(t.owner[i], t.comp[i], t.cpu[i], t.mem[i],
+                 None if t.cap[i] < 0 else int(t.cap[i]))
+                for i in range(len(t))]
+
     @property
     def committed_plan(self) -> CapacityPlan:
         cached = self._committed

@@ -270,6 +270,10 @@ class Placer:
         """
         cpu = descriptor.cpu
         mem = descriptor.memory_mb
+        if descriptor.placement:
+            pin = descriptor.placement.get("host")
+            if pin is not None:
+                return self._select_pinned(hosts, descriptor, pin)
         if not self.constraints and type(self.policy) is FirstFit:
             # Hot path for the default placer: first-fit with no constraints
             # needs only the first fitting host — skip materialising the
@@ -306,3 +310,26 @@ class Placer:
         ranked = self.policy.order(candidates, descriptor)
         self.selections += 1
         return ranked[0]
+
+    def _select_pinned(self, hosts: Sequence[Host],
+                       descriptor: DeploymentDescriptor, pin: str) -> Host:
+        """Honour ``descriptor.placement["host"]`` — a solver-computed plan.
+
+        The pinning caller owns constraint validation (the solver checked
+        the whole joint assignment); only the capacity fit is re-checked
+        here, because the world may have moved since the plan was built.
+        """
+        for h in hosts:
+            if h.name == pin:
+                if h.fits(descriptor.cpu, descriptor.memory_mb):
+                    self.selections += 1
+                    return h
+                self.capacity_failures += 1
+                raise CapacityError(
+                    f"pinned host {pin!r} cannot fit {descriptor.name!r} "
+                    f"(cpu={descriptor.cpu}, mem={descriptor.memory_mb}MB)"
+                )
+        raise PlacementError(
+            f"pinned host {pin!r} for {descriptor.name!r} is not in the "
+            f"pool ({len(hosts)} host(s))"
+        )

@@ -16,6 +16,8 @@ from .requests import (
     ProvisioningRequest,
     Queued,
     Rejected,
+    RejectCode,
+    RejectionReason,
     RequestState,
 )
 from .scheduler import FairScheduler
@@ -30,6 +32,8 @@ __all__ = [
     "ProvisioningRequest",
     "Queued",
     "Rejected",
+    "RejectCode",
+    "RejectionReason",
     "RequestState",
     "RetryPolicy",
     "Tenant",

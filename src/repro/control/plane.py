@@ -32,6 +32,16 @@ Pipeline per request:
    (:class:`~repro.cloud.errors.CapacityError`, ``ScaleError``) are
    retried with exponential backoff (:class:`~.backpressure.RetryPolicy`)
    before a terminal rejection returns the reservation.
+6. **Solver rescue** — when the greedy placer's one-at-a-time packing
+   fails with a :class:`~repro.cloud.errors.CapacityError`, the exact
+   constraint solver (:mod:`repro.solver`) re-plans the whole instance
+   set jointly against live hosts; a SAT verdict retries immediately with
+   per-instance host pins, UNSAT carries the solver's explanation into
+   the terminal :class:`~.requests.Rejected` outcome.
+
+:meth:`ControlPlane.what_if` answers "would this manifest fit, where, at
+what committed cost?" without mutating any site — the probe behind
+``python -m repro plan``.
 
 Observability: counters (``admitted``/``queued``/``rejected``/``retried``/
 ``released``), a ``queue.depth`` step series plus per-admission
@@ -58,6 +68,8 @@ from ..core.manifest.model import ServiceManifest
 from ..core.service_manager.lifecycle import ScaleError
 from ..core.service_manager.manager import ManagedService, ServiceManager
 from ..sim import Environment, Process, SeriesRecorder, TraceLog
+from ..solver import SearchBudget, Solution, encode_service, solve
+from ..solver import what_if as _solver_what_if
 from .backpressure import RetryPolicy
 from .requests import (
     Admitted,
@@ -65,6 +77,8 @@ from .requests import (
     ProvisioningRequest,
     Queued,
     Rejected,
+    RejectCode,
+    RejectionReason,
     RequestState,
 )
 from .scheduler import FairScheduler
@@ -105,13 +119,19 @@ class ControlPlane:
     def __init__(self, env: Environment, *,
                  trace: Optional[TraceLog] = None,
                  retry: Optional[RetryPolicy] = None,
-                 max_queue_depth: Optional[int] = None):
+                 max_queue_depth: Optional[int] = None,
+                 solver_fallback: bool = True,
+                 solver_budget: Optional[SearchBudget] = None):
         self.env = env
         self.trace = trace if trace is not None else TraceLog(env)
         self.retry = retry if retry is not None else RetryPolicy()
         #: queued requests beyond this are shed with a typed rejection;
         #: None = unbounded queue
         self.max_queue_depth = max_queue_depth
+        #: after a greedy CapacityError, re-plan the whole instance set with
+        #: the exact solver before burning a backoff interval
+        self.solver_fallback = solver_fallback
+        self.solver_budget = solver_budget or SearchBudget()
         self.sites: list[ControlledSite] = []
         self.tenants: dict[str, Tenant] = {}
         self.scheduler = FairScheduler()
@@ -129,6 +149,10 @@ class ControlPlane:
         }
         self._m_queue_wait = metrics.histogram("control.plane.queue_wait_s",
                                                plane=plane)
+        # Kept out of ``_m_counters`` so the ``counters`` compatibility view
+        # (and ``stats()``) keeps its historical shape.
+        self._m_solver_rescued = metrics.counter(
+            "control.plane.solver_rescued", plane=plane)
         metrics.register_view("control.plane.queue_depth",
                               lambda: self.scheduler.depth, plane=plane)
         self.series = SeriesRecorder(env)
@@ -243,32 +267,42 @@ class ControlPlane:
 
         # Hard screens: things that will never change by waiting.
         if not owner.quota.admits_alone(envelope):
-            return self._reject(request, "quota: worst case exceeds the "
-                                         "tenant quota outright")
+            return self._reject(request, RejectionReason(
+                RejectCode.QUOTA,
+                "quota: worst case exceeds the tenant quota outright",
+                tenant=tenant))
         if site is not None:
             # Pinned submission: admit on the named site now or reject.
             target = self._site_named(site)
             if not self._eligible(target, manifest):
-                return self._reject(
-                    request, f"placement: site {site!r} is not eligible")
+                return self._reject(request, RejectionReason(
+                    RejectCode.PLACEMENT,
+                    f"placement: site {site!r} is not eligible",
+                    site=site))
             if owner.quota.violation(owner.usage, envelope) is not None:
-                return self._reject(
-                    request, "quota: worst case exceeds the tenant quota")
+                return self._reject(request, RejectionReason(
+                    RejectCode.QUOTA,
+                    "quota: worst case exceeds the tenant quota",
+                    tenant=tenant))
             if not target.admission.can_admit(manifest):
-                return self._reject(
-                    request, f"capacity: site {site!r} cannot admit the "
-                             f"worst case")
+                return self._reject(request, RejectionReason(
+                    RejectCode.CAPACITY,
+                    f"capacity: site {site!r} cannot admit the worst case",
+                    site=site))
             self._admit_to(request, target)
             return Admitted(request, target.name)
         if not self._fits_somewhere_empty(request):
-            return self._reject(request, "capacity: worst case exceeds "
-                                         "every eligible site's whole pool")
+            return self._reject(request, RejectionReason(
+                RejectCode.CAPACITY,
+                "capacity: worst case exceeds every eligible site's "
+                "whole pool"))
         if (self.max_queue_depth is not None
                 and self.scheduler.depth >= self.max_queue_depth):
-            return self._reject(
-                request,
+            return self._reject(request, RejectionReason(
+                RejectCode.BACKPRESSURE,
                 f"backpressure: queue depth {self.scheduler.depth} at the "
-                f"max_queue_depth={self.max_queue_depth} bound")
+                f"max_queue_depth={self.max_queue_depth} bound",
+                depth=self.scheduler.depth, bound=self.max_queue_depth))
 
         position = self.scheduler.push(request)
         self._record_depth()
@@ -332,6 +366,20 @@ class ControlPlane:
             for name, t in self.tenants.items()
         }
         return out
+
+    def what_if(self, manifest: ServiceManifest, *,
+                tenant: Optional[str] = None, exact: bool = True):
+        """Would this manifest fit, where, at what committed cost?
+
+        A pure federation-wide probe (:func:`repro.solver.what_if`): replays
+        ``submit()``'s decision pipeline — eligibility, optional tenant
+        quota screens, per-site guaranteed-capacity packing, the ranked
+        site choice — without reserving, queueing or mutating anything.
+        ``exact=True`` asks the constraint solver for a second opinion on
+        sites the FFD packer refuses.
+        """
+        return _solver_what_if(self, manifest, tenant=tenant, exact=exact,
+                               budget=self.solver_budget)
 
     # ------------------------------------------------------------------
     # Admission machinery
@@ -454,11 +502,14 @@ class ControlPlane:
         request.state = RequestState.REJECTED
         request.reason = reason
         self._m_counters["rejected"].inc()
+        code = reason.code.value if isinstance(reason, RejectionReason) \
+            else None
         self.trace.emit_in(request.span, "control", "request.rejected",
                            request=request.request_id, tenant=request.tenant,
-                           reason=reason)
+                           reason=str(reason), code=code)
         if request.span is not None and not request.span.closed:
-            self.trace.close_span(request.span, "rejected", reason=reason)
+            self.trace.close_span(request.span, "rejected",
+                                  reason=str(reason), code=code)
         request._decide()
         return Rejected(request, reason=reason)
 
@@ -470,8 +521,10 @@ class ControlPlane:
         exponential backoff; exhausting the policy returns the reservation
         and terminally rejects."""
         tenant = self.tenants[request.tenant]
+        last_explanation = None
         while True:
             request.attempts += 1
+            pins, request.pins = request.pins, None
             failure: Optional[Exception] = None
             service: Optional[ManagedService] = None
             try:
@@ -482,7 +535,8 @@ class ControlPlane:
                 with self.trace.activate(request.span):
                     service = site.manager.deploy(
                         request.manifest, service_id=request.service_id,
-                        tenant=request.tenant, drivers=request.drivers)
+                        tenant=request.tenant, drivers=request.drivers,
+                        placement_plan=pins)
                 request.service = service
                 yield service.deployment
             except TRANSIENT_ERRORS as exc:
@@ -504,12 +558,36 @@ class ControlPlane:
                                    service=request.service_id,
                                    attempts=request.attempts)
                 return
+            if (self.solver_fallback and pins is None
+                    and isinstance(failure, CapacityError)
+                    and request.attempts < self.retry.max_attempts):
+                # Greedy one-at-a-time placement ran out of room; the
+                # teardown above has already returned any partial reserve,
+                # so re-plan the whole instance set jointly before burning
+                # a backoff interval.
+                rescue_pins, explanation = self._solver_rescue(request, site)
+                if explanation is not None:
+                    last_explanation = explanation
+                if rescue_pins:
+                    request.pins = rescue_pins
+                    self._m_solver_rescued.inc()
+                    self.trace.emit_in(request.span, "control",
+                                       "request.rescue",
+                                       request=request.request_id,
+                                       tenant=request.tenant, site=site.name,
+                                       instances=len(rescue_pins))
+                    continue    # retry immediately with the solver's plan
             if request.attempts >= self.retry.max_attempts:
                 site.admission.release(request.manifest)
                 tenant.usage.remove(request.envelope)
-                self._reject(request, f"deploy failed after "
-                                      f"{request.attempts} attempt(s): "
-                                      f"{failure}")
+                detail = {"error": str(failure),
+                          "attempts": request.attempts}
+                if last_explanation is not None:
+                    detail["solver"] = last_explanation.render()
+                self._reject(request, RejectionReason(
+                    RejectCode.DEPLOY_FAILED,
+                    f"deploy failed after {request.attempts} attempt(s): "
+                    f"{failure}", **detail))
                 self._pump()    # the reservation just freed — re-drain
                 return
             delay = self.retry.backoff(request.attempts)
@@ -519,6 +597,38 @@ class ControlPlane:
                             tenant=request.tenant, attempt=request.attempts,
                             delay_s=delay, error=str(failure))
             yield self.env.timeout(delay)
+
+    def _solver_rescue(self, request: ProvisioningRequest,
+                       site: ControlledSite):
+        """Joint re-plan after a greedy :class:`CapacityError`.
+
+        Encodes the manifest's full initial instance set against the site's
+        live hosts (with the placer's installed constraints) and solves
+        within ``solver_budget``. SAT returns per-instance pins keyed
+        ``(system_id, instance_index)`` for the retry deploy; UNSAT returns
+        the solver's explanation for the eventual terminal reason. Any
+        encoding surprise (an unsupported constraint type, say) falls back
+        to the plain greedy retry path.
+        """
+        try:
+            veem = site.site.veem
+            model = encode_service(
+                request.manifest, veem.hosts,
+                service_id=request.service_id,
+                constraints=veem.placer.constraints)
+            result = solve(model, self.solver_budget)
+        except Exception:
+            return None, None
+        if not isinstance(result, Solution):
+            return None, result.explanation
+        names = {h.index: h.name for h in model.hosts}
+        counts: dict[str, int] = {}
+        pins: dict[tuple, str] = {}
+        for item, host_index in zip(model.items, result.assignment):
+            instance = counts.get(item.component, 0)
+            counts[item.component] = instance + 1
+            pins[(item.component, instance)] = names[host_index]
+        return pins, None
 
     # ------------------------------------------------------------------
     # Capacity release (wired into ServiceManager.on_undeploy)

@@ -28,8 +28,37 @@ from ..sim import Event
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.service_manager.manager import ManagedService
 
-__all__ = ["RequestState", "ProvisioningRequest",
-           "Outcome", "Admitted", "Queued", "Rejected"]
+__all__ = ["RequestState", "ProvisioningRequest", "RejectCode",
+           "RejectionReason", "Outcome", "Admitted", "Queued", "Rejected"]
+
+
+class RejectCode(enum.Enum):
+    """Machine-readable rejection categories, one per decision screen."""
+
+    QUOTA = "quota"                  # tenant quota screens
+    CAPACITY = "capacity"            # guaranteed-capacity admission
+    PLACEMENT = "placement"          # site eligibility (affinity/avoid)
+    BACKPRESSURE = "backpressure"    # queue depth bound
+    DEPLOY_FAILED = "deploy-failed"  # retries exhausted while deploying
+    CONSTRAINT = "constraint"        # placement constraints unsatisfiable
+
+
+class RejectionReason(str):
+    """A rejection reason that *is* the human-readable string (so every
+    ``"quota" in outcome.reason`` caller keeps working) but also carries a
+    typed code and a structured detail payload."""
+
+    __slots__ = ("code", "detail")
+
+    def __new__(cls, code: RejectCode, message: str, **detail):
+        self = super().__new__(cls, message)
+        self.code = code
+        self.detail = detail
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RejectionReason({self.code.value!r}, "
+                f"{str.__repr__(self)}, detail={self.detail!r})")
 
 
 class RequestState(enum.Enum):
@@ -64,6 +93,9 @@ class ProvisioningRequest:
     admitted_at: Optional[float] = None
     released_at: Optional[float] = None
     attempts: int = 0                   # deployment attempts driven so far
+    #: per-instance host pins computed by the solver rescue, keyed
+    #: ``(system_id, instance_index)`` — consumed by the next deploy attempt
+    pins: Optional[dict] = field(default=None, repr=False)
     #: fires (with the request) once the admission decision is final —
     #: i.e. on entering DEPLOYING or REJECTED
     decided: Optional[Event] = field(default=None, repr=False)

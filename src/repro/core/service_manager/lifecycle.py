@@ -121,7 +121,8 @@ class ServiceLifecycleManager:
     def __init__(self, env: Environment, parsed: ParsedService, veem: VEEM, *,
                  trace: Optional[TraceLog] = None,
                  auto_heal: bool = True,
-                 tenant: Optional[str] = None):
+                 tenant: Optional[str] = None,
+                 placement_plan: Optional[dict] = None):
         self.env = env
         self.parsed = parsed
         self.veem = veem
@@ -131,6 +132,10 @@ class ServiceLifecycleManager:
         #: or components become unavailable" (§1)
         self.auto_heal = auto_heal
         self._terminating = False
+        #: solver-computed host pins keyed ``(system_id, instance_index)``,
+        #: consumed (popped) as the matching instances deploy — scale-ups
+        #: beyond the planned set place normally
+        self.pin_plan: dict = dict(placement_plan or {})
         #: owning tenant, threaded into accounting so multi-tenant usage can
         #: be attributed and billed per tenant
         self.tenant = tenant
@@ -248,6 +253,10 @@ class ServiceLifecycleManager:
     def _deploy_instance(self, component: ManagedComponent) -> VirtualMachine:
         descriptor = self.parsed.descriptor_for(
             component.system, component.next_instance)
+        pin = self.pin_plan.pop(
+            (component.system.system_id, component.next_instance), None)
+        if pin is not None:
+            descriptor.placement["host"] = pin
         component.next_instance += 1
         descriptor.customisation = self._resolve_customisation(
             descriptor.customisation)

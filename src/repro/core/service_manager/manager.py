@@ -95,13 +95,16 @@ class ServiceManager:
                service_id: Optional[str] = None,
                drivers: Optional[dict[str, ComponentDriver]] = None,
                start_rules: bool = True,
-               tenant: Optional[str] = None) -> ManagedService:
+               tenant: Optional[str] = None,
+               placement_plan: Optional[dict] = None) -> ManagedService:
         """Steps 1–7: parse, install rules, set up images, deploy VEEs.
 
         Returns immediately with the deployment running as a process (join
         ``service.deployment`` to await step-7 completion). ``drivers`` maps
         system ids to application-level component drivers. ``tenant`` tags
         the service (and its usage accounting) with the submitting tenant.
+        ``placement_plan`` (solver rescue) pins initial instances to hosts,
+        keyed ``(system_id, instance_index)``.
         """
         # Step 1: parse + validate.
         parsed = self.parser.parse(manifest, service_id=service_id)
@@ -112,7 +115,8 @@ class ServiceManager:
                                service=parsed.service_id, tenant=tenant)
         # Step 2: deployment command to the lifecycle manager.
         lifecycle = ServiceLifecycleManager(self.env, parsed, self.veem,
-                                            trace=self.trace, tenant=tenant)
+                                            trace=self.trace, tenant=tenant,
+                                            placement_plan=placement_plan)
         lifecycle.span = span
         for system_id, driver in (drivers or {}).items():
             lifecycle.use_driver(system_id, driver)

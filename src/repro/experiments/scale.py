@@ -84,6 +84,9 @@ class ScaleConfig:
     sample_period_s: float = 60.0
     #: fraction of services whose burst exceeds the scale-up threshold
     elastic_fraction: float = 0.25
+    #: run a defragmenting migration pass (repro.solver.defrag) per site
+    #: every this many simulated hours; 0 = off
+    defrag_every_h: float = 0.0
 
     #: homogeneous host/VM shapes (the §6.1.2 testbed host by default)
     host_cpu: float = 4.0
@@ -104,6 +107,8 @@ class ScaleConfig:
             raise ValueError("procs must be positive")
         if self.epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
+        if self.defrag_every_h < 0:
+            raise ValueError("defrag_every_h must be >= 0")
 
     @property
     def duration_s(self) -> float:
@@ -348,6 +353,44 @@ def _peak_of(samples: list) -> int:
     return max((total for _t, total in samples), default=0)
 
 
+def _start_defrag(env, cfg: ScaleConfig, veems, stats: Optional[list] = None):
+    """Periodic per-site defragmentation passes (``--defrag-every H``).
+
+    Each site plans (:func:`repro.solver.defrag.plan_defrag`) and executes
+    its own migration batch, one site after another within the process so
+    the whole pass is deterministic; with admissions all decided at t=0
+    and MIGRATING VMs still counted active, the passes are invisible to
+    the sharded-vs-oracle decision comparison — workers and oracle run
+    the identical per-site plans.
+    """
+    if cfg.defrag_every_h <= 0:
+        return None
+    from ..solver.defrag import execute_plan, plan_defrag
+
+    def pass_loop():
+        # Quarter-period offset: plan *between* monitor instants (like the
+        # census's half-period offset) so a plan never races a same-instant
+        # scale event whose ordering could differ between the oracle's
+        # all-site environment and a shard's subset environment.
+        period_s = cfg.defrag_every_h * 3600.0
+        yield env.timeout(cfg.sample_period_s / 4.0)
+        while True:
+            yield env.timeout(period_s)
+            moved = 0
+            # Plan every site at this same instant (planning is synchronous,
+            # execution runs as per-site processes): a site's plan is a pure
+            # function of its own state, never of another site's progress.
+            for veem in veems:
+                plan = plan_defrag(veem)
+                if plan:
+                    moved += len(plan.steps)
+                    execute_plan(veem, plan)
+            if stats is not None:
+                stats.append((env.now, moved))
+
+    return env.process(pass_loop(), name="defrag-pass")
+
+
 # ---------------------------------------------------------------------------
 # Admission planning (shared: the single-process run *is* the plan)
 # ---------------------------------------------------------------------------
@@ -428,6 +471,7 @@ def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
     samples: list = []
     env.process(_vm_census(env, veems, samples, cfg.sample_period_s),
                 name="vm-census")
+    _start_defrag(env, cfg, veems)
 
     say(f"running {cfg.hours:g} simulated hour(s) ...")
     env.run(until=cfg.duration_s)

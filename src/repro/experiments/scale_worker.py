@@ -27,6 +27,7 @@ from .scale import (
     _attach_agent,
     _build_site_veem,
     _scale_manifest,
+    _start_defrag,
     _start_session_driver,
     _vm_census,
 )
@@ -97,6 +98,9 @@ class ScaleShard:
             _vm_census(self.env, self.veems, self.samples,
                        cfg.sample_period_s),
             name=f"vm-census:shard-{spec.shard}")
+        # Same defrag cadence as the oracle: each site's pass is a pure
+        # function of its own state, so shard and oracle plans coincide.
+        _start_defrag(self.env, cfg, self.veems)
 
     def run_epoch(self, until: float) -> EpochReport:
         self.env.run(until=until)

@@ -7,6 +7,7 @@ from repro.cloud import (
     AntiAffinity,
     AttributeRequirement,
     BestFit,
+    CapacityError,
     ComponentCap,
     DeploymentDescriptor,
     FirstFit,
@@ -177,6 +178,96 @@ def test_constraints_compose(hosts):
     # First four execs land on h0 (first fit), the fifth must move on.
     assert len(hosts[0].vms_of_component("exec")) == 4
     assert placer.select(hosts, make_desc("exec")) is not hosts[0]
+
+
+# ---------------------------------------------------------------------------
+# FirstFit fast-path edge cases
+# ---------------------------------------------------------------------------
+
+def test_empty_host_list_is_a_capacity_error(env):
+    placer = Placer()
+    with pytest.raises(CapacityError, match="0 host"):
+        placer.select([], make_desc("a"))
+    assert placer.capacity_failures == 1 and placer.selections == 0
+    # Same verdict off the fast path (constraints present).
+    constrained = Placer(constraints=[AntiAffinity("a", "b")])
+    with pytest.raises(CapacityError):
+        constrained.select([], make_desc("a"))
+
+
+def test_zero_free_capacity_hosts_are_skipped(env):
+    full = Host(env, "full", cpu_cores=1, memory_mb=512)
+    place(full, "filler", cpu=1, mem=512)
+    spare = Host(env, "spare", cpu_cores=1, memory_mb=512)
+    placer = Placer()
+    assert placer.select([full, spare], make_desc("a", cpu=1, mem=512)) \
+        is spare
+    with pytest.raises(CapacityError):
+        placer.select([full], make_desc("b", cpu=1, mem=512))
+
+
+def test_anti_affinity_group_larger_than_host_count(hosts):
+    # 3 hosts, 4 mutually anti-affine replicas: the fourth is infeasible
+    # (a constraint failure, not a capacity failure — capacity exists).
+    placer = Placer(constraints=[AntiAffinity("replica", "replica")])
+    for _ in range(len(hosts)):
+        place(placer.select(hosts, make_desc("replica")), "replica")
+    with pytest.raises(PlacementError):
+        placer.select(hosts, make_desc("replica"))
+    assert placer.constraint_failures == 1
+    assert placer.capacity_failures == 0
+
+
+def test_release_then_reuse_of_freed_slot(env):
+    host = Host(env, "h", cpu_cores=2, memory_mb=2048)
+    placer = Placer()
+    blocker = place(host, "a", cpu=2, mem=2048)
+    with pytest.raises(CapacityError):
+        placer.select([host], make_desc("b", cpu=1, mem=1024))
+    host.release(blocker)
+    assert placer.select([host], make_desc("b", cpu=1, mem=1024)) is host
+    assert placer.capacity_failures == 1 and placer.selections == 1
+
+
+# ---------------------------------------------------------------------------
+# Host pins (descriptor.placement["host"], the solver-rescue mechanism)
+# ---------------------------------------------------------------------------
+
+def test_pinned_descriptor_goes_to_the_named_host(hosts):
+    placer = Placer()
+    d = make_desc("a")
+    d.placement["host"] = "h2"
+    assert placer.select(hosts, d) is hosts[2]
+    assert placer.selections == 1
+
+
+def test_pinned_host_without_room_is_a_capacity_error(hosts):
+    place(hosts[2], "big", cpu=4, mem=8192)
+    placer = Placer()
+    d = make_desc("a")
+    d.placement["host"] = "h2"
+    with pytest.raises(CapacityError, match="pinned host"):
+        placer.select(hosts, d)
+    assert placer.capacity_failures == 1
+
+
+def test_pinned_unknown_host_is_a_placement_error(hosts):
+    placer = Placer()
+    d = make_desc("a")
+    d.placement["host"] = "nope"
+    with pytest.raises(PlacementError, match="not in the pool"):
+        placer.select(hosts, d)
+
+
+def test_pin_bypasses_constraint_filtering(hosts):
+    # The pinning caller (the solver) validated the joint assignment; the
+    # placer only re-checks capacity, so a pin can land where the greedy
+    # filter would have refused.
+    place(hosts[0], "dbms")
+    placer = Placer(constraints=[AntiAffinity("replica", "dbms")])
+    d = make_desc("replica")
+    d.placement["host"] = "h0"
+    assert placer.select(hosts, d) is hosts[0]
 
 
 def test_feasible_returns_all_candidates(hosts):
