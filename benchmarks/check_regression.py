@@ -38,6 +38,7 @@ HEADLINE = (
     "test_obs_overhead",
     "test_kernel_10m_events",
     "test_vm_table_capacity_scan",
+    "test_scenario_runner_overhead",
 )
 
 #: Recorded in the baseline for context (e.g. the linear-scan routing mode

@@ -610,3 +610,40 @@ def test_scale_parallel_speedup(benchmark):
     assert speedup >= 2.0, (
         f"--procs 4 must be >= 2x faster than --procs 1 "
         f"(got {speedup:.2f}x: {single:.2f}s vs {sharded:.2f}s)")
+
+
+def test_scenario_runner_overhead(benchmark):
+    """End-to-end cost of one experiment cell through the scenario factory:
+    seeded workload generation (flash crowd), chaos injection (a recovering
+    host crash), the settle window, and the full §16 invariant sweep over a
+    2-site federation.
+
+    Headline-gated: this is the per-cell constant every sweep pays, so a
+    regression here multiplies across whole experiment grids. The bare
+    harness run is timed alongside and the factory's multiplier is recorded
+    as ``scenario_overhead_x`` — generation + checking must stay a small
+    fraction of the simulation itself.
+    """
+    from time import perf_counter
+
+    from repro.experiments.scale import ScaleConfig, run_scale
+    from repro.scenarios.chaos import HostCrash
+
+    cell = ScaleConfig(
+        sites=2, services=64, hours=0.25, random_seed=7,
+        workload="flash-crowd", settle_s=120.0, check_invariants=True,
+        chaos=(HostCrash(at_s=465.0, site="site-0",
+                         recover_after_s=240.0),))
+    bare = ScaleConfig(sites=2, services=64, hours=0.25, random_seed=7)
+
+    report = benchmark(run_scale, cell)
+    assert report.violations == ()
+    assert report.admitted == 64
+
+    t0 = perf_counter()
+    run_scale(bare)
+    bare_wall = perf_counter() - t0
+    overhead = report.wall_s / bare_wall if bare_wall > 0 else 0.0
+    benchmark.extra_info["cell_wall_s"] = round(report.wall_s, 4)
+    benchmark.extra_info["bare_wall_s"] = round(bare_wall, 4)
+    benchmark.extra_info["scenario_overhead_x"] = round(overhead, 2)

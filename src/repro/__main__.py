@@ -41,6 +41,13 @@ Commands
     re-runs single-process and fails on any decision divergence.
     ``--reference`` runs the same workload on the heap oracle kernel for
     comparison.
+``experiment <name> [--sweep k=v1,v2 ...] [--seed N] [--procs P]``
+    Run a named scenario (workload generator + optional chaos schedule)
+    across a parameter sweep; every cell runs through the real control
+    plane, the §16 invariants are checked after each cell, and one
+    deterministic JSON line per cell lands in ``runs/``. ``--list``
+    prints the scenario catalogue. Exit 1 if any cell violates an
+    invariant.
 ``obs-report [--chrome FILE] [--jsonl FILE]``
     Run the same scenario and print the observability report: the span
     tree, a Prometheus-style metrics dump, and the §4.2.3 time-constraint
@@ -409,6 +416,27 @@ def _cmd_scale(args) -> int:
     return 0
 
 
+def _cmd_experiment(args) -> int:
+    from .scenarios.runner import SCENARIOS, run_experiment, scenario_names
+    from .scenarios.workloads import WorkloadError
+
+    if args.list or not args.name:
+        width = max(len(n) for n in SCENARIOS)
+        for name in scenario_names():
+            print(f"{name:<{width}}  {SCENARIOS[name].description}")
+        return 0
+    say = lambda m: print(m, file=sys.stderr)  # noqa: E731
+    try:
+        result = run_experiment(
+            args.name, sweep=args.sweep, seed=args.seed, procs=args.procs,
+            hours=args.hours, out_dir=args.out, progress=say)
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_obs_report(args) -> int:
     """Run the control-demo scenario and print the observability report:
     span tree, metrics dump, and the §4.2.3 time-constraint audit."""
@@ -554,6 +582,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the --procs 1 oracle and fail on any "
                         "decision-outcome divergence")
     p.set_defaults(func=_cmd_scale)
+
+    p = sub.add_parser("experiment",
+                       help="run a named scenario across a parameter sweep "
+                            "with invariant checking (DESIGN §16)")
+    p.add_argument("name", nargs="?", default=None,
+                   help="scenario name (see --list)")
+    p.add_argument("--sweep", nargs="*", default=[], metavar="KEY=V1,V2",
+                   help="sweep axes; config fields (sites, services, hours, "
+                        "procs, seed ...) or workload parameters (load, "
+                        "alpha ...)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--procs", type=int, default=None)
+    p.add_argument("--hours", type=float, default=None)
+    p.add_argument("--out", default="runs",
+                   help="directory for per-cell JSONL (default: runs/)")
+    p.add_argument("--list", action="store_true",
+                   help="print the scenario catalogue and exit")
+    p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("obs-report",
                        help="observability report over the control-demo "

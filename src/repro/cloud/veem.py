@@ -266,6 +266,30 @@ class VEEM:
                         casualties=len(casualties))
         return casualties
 
+    def preempt(self, count: int = 1, *,
+                newest_first: bool = True) -> list[VirtualMachine]:
+        """Spot-market reclamation: fail up to ``count`` active VMs.
+
+        ``newest_first`` (the default) reclaims the most recently submitted
+        instances first — the usual spot semantics, and the gentlest on
+        long-running tenants. Returns the victims, preemption order.
+        Deterministic: victims come from submission order, never from a
+        clock or RNG.
+        """
+        if count < 0:
+            raise ValueError("preempt count must be non-negative")
+        active = [vm for vm in self.vms.values() if vm.is_active]
+        if newest_first:
+            active.reverse()
+        victims = active[:count]
+        for vm in victims:
+            self.trace.emit(self.name, "vm.preempted", vm=vm.vm_id,
+                            component=vm.descriptor.component_id,
+                            service=vm.descriptor.service_id,
+                            host=vm.host.name if vm.host else None)
+            self.inject_vm_failure(vm)
+        return victims
+
     def recover_host(self, host: Host) -> None:
         if host not in self.hosts:
             raise PlacementError(f"host {host.name!r} not managed by {self.name}")
@@ -314,6 +338,13 @@ class VEEM:
     def _shutdown(self, vm: VirtualMachine, span=None):
         vm.transition(VMState.SHUTTING_DOWN)
         yield self.env.timeout(vm.host.timings.shutdown_s)
+        if not vm.is_active:
+            # Host crash / injected fault beat the shutdown to it: the
+            # failure path already released capacity and networks, and
+            # ``vm.host`` is gone.
+            if span is not None and not span.closed:
+                self.trace.close_span(span, "failed")
+            return
         host = vm.host
         host.release(vm)
         self.networks.release_all(vm.vm_id)
@@ -346,6 +377,12 @@ class VEEM:
         # dominant cost is transferring guest memory plus suspend/resume.
         copy_time = vm.descriptor.memory_mb / self.repository.bandwidth_mb_per_s
         yield self.env.timeout(copy_time + target.timings.migrate_suspend_s)
+        if not vm.is_active:
+            # The VM (or its target host) failed mid-copy; the failure path
+            # already reclaimed whatever capacity it held.
+            if span is not None and not span.closed:
+                self.trace.close_span(span, "failed")
+            return
         vm.transition(VMState.RUNNING)
         self.trace.emit(self.name, "vm.migrated", vm=vm.vm_id,
                         from_host=source.name, to_host=target.name)

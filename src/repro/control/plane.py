@@ -133,6 +133,9 @@ class ControlPlane:
         self.solver_fallback = solver_fallback
         self.solver_budget = solver_budget or SearchBudget()
         self.sites: list[ControlledSite] = []
+        #: federation members currently cut off by a network partition —
+        #: ineligible for every placement until the partition heals
+        self._unreachable: set[str] = set()
         self.tenants: dict[str, Tenant] = {}
         self.scheduler = FairScheduler()
         self.requests: dict[str, ProvisioningRequest] = {}
@@ -327,6 +330,41 @@ class ControlPlane:
         return site.manager.undeploy(request.service)
 
     # ------------------------------------------------------------------
+    # Federation reachability (network partitions)
+    # ------------------------------------------------------------------
+    @property
+    def unreachable(self) -> frozenset:
+        """Sites currently cut off by a partition."""
+        return frozenset(self._unreachable)
+
+    def partition(self, sites) -> None:
+        """Mark federation members unreachable: they drop out of every
+        eligibility screen (federated selection, pinned submissions,
+        ``what_if`` probes) until :meth:`heal_partition`. Already-deployed
+        services on a partitioned site keep running — the site's own
+        control loops are local; only the control plane's reach is cut."""
+        names = [s if isinstance(s, str) else s.name for s in sites]
+        for name in names:
+            self._site_named(name)      # validate before mutating
+        self._unreachable.update(names)
+        self.trace.emit("control", "federation.partition",
+                        sites=sorted(names),
+                        unreachable=sorted(self._unreachable))
+
+    def heal_partition(self, sites=None) -> None:
+        """Restore reachability (all partitioned sites by default) and
+        re-drain the queue against the recovered capacity."""
+        if sites is None:
+            healed = set(self._unreachable)
+        else:
+            healed = {s if isinstance(s, str) else s.name for s in sites}
+        self._unreachable -= healed
+        self.trace.emit("control", "federation.heal",
+                        sites=sorted(healed),
+                        unreachable=sorted(self._unreachable))
+        self._pump()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -392,9 +430,11 @@ class ControlPlane:
 
     def _eligible(self, site: ControlledSite,
                   manifest: ServiceManifest) -> bool:
-        """Manifest-level MDL5 administrative screening: a site any
-        placement avoids, or an untrusted site when trust is required,
-        is out for the whole service."""
+        """Manifest-level MDL5 administrative screening: a partitioned-off
+        site, a site any placement avoids, or an untrusted site when trust
+        is required, is out for the whole service."""
+        if site.name in self._unreachable:
+            return False
         for placement in manifest.placement.site_placements:
             if site.name in placement.avoid_sites:
                 return False

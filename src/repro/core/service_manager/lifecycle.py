@@ -78,8 +78,10 @@ class DefaultDriver(ComponentDriver):
         return vm
 
     def _stop(self, vm: VirtualMachine):
-        if not vm.on_running.processed:
-            yield vm.on_running
+        if not (vm.on_running.processed or vm.on_stopped.processed):
+            # A VM that fails while provisioning never fires on_running;
+            # waiting on it alone would leave this process pending forever.
+            yield self.env.any_of([vm.on_running, vm.on_stopped])
         if vm.state is VMState.RUNNING:
             yield self.veem.shutdown(vm)
 
@@ -217,19 +219,45 @@ class ServiceLifecycleManager:
 
         # Steps 5–7, tier by tier.
         for tier in manifest.startup_order():
-            waits = []
+            gating: list[VirtualMachine] = []
+            gated_systems: list[str] = []
             with self._activated(self.span):
                 for system_id in tier:
                     component = self._component(system_id)
+                    entry = next(
+                        (e for e in manifest.startup
+                         if e.system_id == system_id), None)
+                    gated = entry is None or entry.wait_for_guest
+                    if gated:
+                        gated_systems.append(system_id)
                     for _ in range(component.system.instances.initial):
                         vm = self._deploy_instance(component)
-                        entry = next(
-                            (e for e in manifest.startup
-                             if e.system_id == system_id), None)
-                        if entry is None or entry.wait_for_guest:
-                            waits.append(vm.on_running)
-            if waits:
-                yield self.env.all_of(waits)
+                        if gated:
+                            gating.append(vm)
+            # Tier barrier: every gating instance must *settle* — reach
+            # RUNNING, or die trying (STOPPED/FAILED). Waiting on
+            # ``on_running`` alone would wedge the deployment forever when a
+            # host crash or injected fault kills an instance mid-provisioning
+            # (``on_running`` never fires for a FAILED VM), leaving the
+            # service's ``deployment`` event unfired and any control-plane
+            # request stuck in DEPLOYING. Instances that died and were healed
+            # are swept up on the next pass, so the deployment event still
+            # means "everything this deployment caused has settled".
+            seen: set[str] = set()
+            while gating:
+                waits = []
+                for vm in gating:
+                    seen.add(vm.vm_id)
+                    if not (vm.on_running.processed
+                            or vm.on_stopped.processed):
+                        waits.append(self.env.any_of([vm.on_running,
+                                                      vm.on_stopped]))
+                if waits:
+                    yield self.env.all_of(waits)
+                gating = [vm for system_id in gated_systems
+                          for vm in self._component(system_id).vms
+                          if vm.vm_id not in seen and vm.is_active
+                          and vm.state is not VMState.RUNNING]
         self.deployed_at = self.env.now
         self.trace.emit_in(self.span, "lifecycle", "service.deploy.done",
                            service=self.parsed.service_id,
@@ -331,6 +359,39 @@ class ServiceLifecycleManager:
                         service=self.parsed.service_id,
                         component=component.system.system_id,
                         failed_vm=dead.vm_id, replacement=replacement.vm_id)
+
+    def ensure_floor(self) -> int:
+        """Redeploy every component currently below its heal floor.
+
+        The failure-time heal path (:meth:`_heal`) runs once, when the
+        instance dies; if the whole site is down at that moment the heal
+        fails for capacity and nothing retries it. This is the recovery
+        hook: after a host or site comes back, re-floor the service.
+        Returns how many replacement instances were deployed.
+        """
+        if self._terminating or not self.auto_heal:
+            return 0
+        deployed = 0
+        for component in self.components.values():
+            bounds = component.system.instances
+            floor = max(bounds.minimum, 1 if bounds.minimum >= 1 else 0)
+            while component.effective_count < floor:
+                try:
+                    replacement = self._deploy_instance(component)
+                except Exception as exc:
+                    self.trace.emit("lifecycle", "instance.heal.failed",
+                                    service=self.parsed.service_id,
+                                    component=component.system.system_id,
+                                    error=str(exc))
+                    break
+                deployed += 1
+                self._counter('_m_heals', 'core.lifecycle.heals').inc()
+                self.trace.emit("lifecycle", "instance.heal",
+                                service=self.parsed.service_id,
+                                component=component.system.system_id,
+                                failed_vm=None,
+                                replacement=replacement.vm_id)
+        return deployed
 
     # ------------------------------------------------------------------
     # Runtime scaling (§5.1.2)

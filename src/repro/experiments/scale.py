@@ -43,7 +43,15 @@ from ..cloud import Host, HostType, HypervisorTimings, ImageRepository, VEEM
 from ..control import Admitted, ControlPlane, Queued
 from ..core.manifest import ManifestBuilder
 from ..monitoring import MonitoringAgent
-from ..sim import Environment, RandomStreams, read_peak_rss_kb
+from ..scenarios.chaos import (
+    NetworkPartition,
+    install_chaos,
+    restrict_event,
+    sites_of,
+)
+from ..scenarios.invariants import check_all
+from ..scenarios.workloads import SessionProfile, WORKLOADS, draw_profiles
+from ..sim import Environment, read_peak_rss_kb
 
 __all__ = [
     "ScaleConfig",
@@ -96,6 +104,21 @@ class ScaleConfig:
     image_mb: float = 64.0
     max_instances: int = 2
 
+    #: named workload generator (repro.scenarios.workloads registry) and
+    #: its parameters as sorted (key, value) pairs — tuples so the config
+    #: stays frozen/picklable
+    workload: str = "baseline"
+    workload_params: tuple = ()
+    #: chaos events (repro.scenarios.chaos dataclasses) injected during
+    #: the run; site-local events are sharded with their sites
+    chaos: tuple = ()
+    #: extra simulated seconds after the workload window, so in-flight
+    #: deploys/heals settle before end-of-run invariant checks
+    settle_s: float = 0.0
+    #: run the repro.scenarios.invariants suite at end of run (per shard
+    #: under ``procs > 1``) and report violations on the ScaleReport
+    check_invariants: bool = False
+
     def __post_init__(self) -> None:
         if self.sites <= 0 or self.services <= 0 or self.hours <= 0:
             raise ValueError("sites, services and hours must be positive")
@@ -109,6 +132,23 @@ class ScaleConfig:
             raise ValueError("epoch_s must be positive")
         if self.defrag_every_h < 0:
             raise ValueError("defrag_every_h must be >= 0")
+        if self.settle_s < 0:
+            raise ValueError("settle_s must be >= 0")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}; "
+                             f"have {sorted(WORKLOADS)}")
+        known = {f"site-{s}" for s in range(self.sites)}
+        for event in self.chaos:
+            if isinstance(event, NetworkPartition) and self.procs > 1:
+                # The control plane lives in the coordinator under
+                # sharding; a partition there cannot reach the workers.
+                raise ValueError(
+                    "NetworkPartition chaos requires procs=1")
+            unknown = set(sites_of(event)) - known
+            if unknown:
+                raise ValueError(
+                    f"chaos event {event!r} names unknown site(s) "
+                    f"{sorted(unknown)}")
 
     @property
     def duration_s(self) -> float:
@@ -134,29 +174,6 @@ class ScaleConfig:
         return HostType(self.host_cpu, self.host_memory_mb)
 
 
-@dataclass(frozen=True)
-class SessionProfile:
-    """One admitted service's deterministic session tide, drawn centrally
-    from the seeded stream so every execution mode replays the same tides.
-
-    Picklable by design: under ``procs > 1`` profiles are shipped to shard
-    workers as part of the shard spec.
-    """
-
-    service_index: int
-    service_id: str
-    tenant: str
-    site: str
-    peak_sessions: int
-    start_s: float
-    hold_s: float
-    drain_level: int
-
-    @property
-    def ramp(self) -> tuple[int, int]:
-        return (self.peak_sessions // 2, self.peak_sessions)
-
-
 @dataclass
 class ScaleReport:
     """What the run did and what it cost."""
@@ -179,6 +196,8 @@ class ScaleReport:
     #: per-site active fleet at the end of the run, in site order —
     #: the decision-outcome fingerprint the oracle comparison uses
     site_fleets: tuple = ()
+    #: invariant violations (stringified), when cfg.check_invariants ran
+    violations: tuple = ()
 
     @property
     def events_per_sec(self) -> float:
@@ -229,6 +248,9 @@ class ScaleReport:
             f"peak RSS:          {self.peak_rss_kb / 1024:.1f} MB "
             f"({self.rss_mb_per_1k_vms:.1f} MB per 1k VMs)",
         ]
+        if self.violations:
+            lines.append(f"INVARIANT VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"  - {v}" for v in self.violations)
         return "\n".join(lines)
 
 
@@ -273,33 +295,23 @@ def _build_site_veem(env: Environment, cfg: ScaleConfig, name: str,
     return veem
 
 
-def _draw_profile(rng, cfg: ScaleConfig, service_index: int,
-                  service_id: str, tenant: str, site: str) -> SessionProfile:
-    """Draw one admitted service's tide. The draw order (four draws per
-    admitted service, in admission order) is the determinism contract:
-    every execution mode consumes the seeded stream identically."""
-    duration = cfg.duration_s
-    elastic = rng.random() < cfg.elastic_fraction
-    peak_sessions = (int(rng.uniform(100, 150)) if elastic
-                     else int(rng.uniform(40, 70)))
-    start_s = rng.uniform(0.05, 0.4) * duration
-    hold_s = rng.uniform(0.15, 0.3) * duration
-    # Only services that burst past the scale-up threshold drain below
-    # the scale-down threshold afterwards; a service already at its
-    # minimum has nothing to release, and parking it under the
-    # threshold would just no-op the down rule every evaluation.
-    drain_level = 10 if elastic else 30
-    return SessionProfile(
-        service_index=service_index, service_id=service_id,
-        tenant=tenant, site=site,
-        peak_sessions=peak_sessions, start_s=start_s, hold_s=hold_s,
-        drain_level=drain_level)
-
-
 def _session_driver(env, state, profile: SessionProfile, quiet_s: float):
-    """SAP-style session tide for one service: ramp up in steps, hold the
-    peak, drain (a service that scaled up drains below the scale-down
-    threshold, releasing its extra VM), then settle back to the baseline."""
+    """Replay one service's session stream.
+
+    A profile with an explicit ``schedule`` is replayed point-for-point
+    (piecewise-constant, last level held). Otherwise the classic SAP tide:
+    ramp up in steps, hold the peak, drain (a service that scaled up
+    drains below the scale-down threshold, releasing its extra VM), then
+    settle back to the baseline.
+    """
+    if profile.schedule:
+        last_at = 0.0
+        for at_s, level in profile.schedule:
+            if at_s > last_at:
+                yield env.timeout(at_s - last_at)
+                last_at = at_s
+            state["sessions"] = level
+        return
     yield env.timeout(profile.start_s)
     ramp = profile.ramp
     for level in ramp:
@@ -419,12 +431,30 @@ def _register_tenants(control: ControlPlane, cfg: ScaleConfig) -> None:
 
 
 def _draw_profiles(cfg: ScaleConfig, admitted_requests) -> list[SessionProfile]:
-    rng = RandomStreams(cfg.random_seed).stream("scale")
-    return [
-        _draw_profile(rng, cfg, i, request.service_id, request.tenant,
-                      request.site)
-        for i, request in enumerate(admitted_requests)
-    ]
+    """Draw every admitted service's profile through the workload-generator
+    registry (:mod:`repro.scenarios.workloads`). Drawn centrally, in
+    admission order, from one seeded stream — the determinism contract
+    that makes sharded runs replay the identical workload."""
+    return draw_profiles(cfg, admitted_requests)
+
+
+def _install_chaos(env, cfg: ScaleConfig, site_names, veems,
+                   control: Optional[ControlPlane] = None,
+                   managers_by_site: Optional[dict] = None) -> None:
+    """Install the config's chaos events against the given sites (the
+    shard-local subset under ``procs > 1``). Must run before the warm-up
+    advance so event timers share the single-process epoch."""
+    if not cfg.chaos:
+        return
+    veems_by_site = dict(zip(site_names, veems))
+    owned = set(site_names)
+    local = [restricted for event in cfg.chaos
+             if (restricted := restrict_event(event, owned)) is not None]
+    if not local:
+        return
+    trace = control.trace if control is not None else veems[0].trace
+    install_chaos(env, local, veems_by_site=veems_by_site, control=control,
+                  managers_by_site=managers_by_site, trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -438,11 +468,15 @@ def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
 
     say(f"building {cfg.sites} site(s) × {cfg.hosts_per_site} host(s) ...")
     veems = []
-    for s in range(cfg.sites):
-        veem = _build_site_veem(env, cfg, f"site-{s}", control.trace)
+    site_names = [f"site-{s}" for s in range(cfg.sites)]
+    for name in site_names:
+        veem = _build_site_veem(env, cfg, name, control.trace)
         veems.append(veem)
-        control.add_site(f"site-{s}", veem)
+        control.add_site(name, veem)
     _register_tenants(control, cfg)
+    _install_chaos(env, cfg, site_names, veems, control=control,
+                   managers_by_site={cs.name: cs.manager
+                                     for cs in control.sites})
 
     manifest = _scale_manifest(cfg)
     say(f"submitting {cfg.services} service(s) "
@@ -474,7 +508,13 @@ def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
     _start_defrag(env, cfg, veems)
 
     say(f"running {cfg.hours:g} simulated hour(s) ...")
-    env.run(until=cfg.duration_s)
+    env.run(until=cfg.duration_s + cfg.settle_s)
+
+    violations: tuple = ()
+    if cfg.check_invariants:
+        say("checking invariants ...")
+        violations = tuple(str(v) for v in
+                           check_all(control, veems, control.trace))
 
     wall_s = time.perf_counter() - wall_start
     depth_series = control.series["queue.depth"]
@@ -493,6 +533,7 @@ def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
         procs=1,
         final_vms=sum(count for _name, count in site_fleets),
         site_fleets=site_fleets,
+        violations=violations,
     )
 
 
@@ -548,13 +589,13 @@ def _run_scale_sharded(cfg: ScaleConfig, say) -> ScaleReport:
 
     say(f"running {cfg.hours:g} simulated hour(s) on "
         f"{cfg.procs} worker process(es), epoch {cfg.epoch_s:g} s ...")
-    duration = cfg.duration_s
+    end = cfg.duration_s + cfg.settle_s
     events_processed = 0
     dead_skipped = 0
     with ShardPool(make_shard, specs) as pool:
         now = WARMUP_S
-        while now < duration:
-            now = min(now + cfg.epoch_s, duration)
+        while now < end:
+            now = min(now + cfg.epoch_s, end)
             pool.epoch(now)
         finals = pool.stop()
 
@@ -563,6 +604,7 @@ def _run_scale_sharded(cfg: ScaleConfig, say) -> ScaleReport:
     merged: dict[float, int] = {}
     fleet_by_site: dict[str, int] = {}
     workers_rss_kb = 0
+    violations: list = []
     for report in finals:
         events_processed += report.events_processed
         dead_skipped += report.payload.get("dead_skipped", 0)
@@ -570,6 +612,7 @@ def _run_scale_sharded(cfg: ScaleConfig, say) -> ScaleReport:
         for t, total in report.payload["samples"]:
             merged[t] = merged.get(t, 0) + total
         fleet_by_site.update(report.payload["site_fleets"])
+        violations.extend(report.payload.get("violations", ()))
     peak_vms = max(merged.values(), default=0)
     site_fleets = tuple((name, fleet_by_site.get(name, 0))
                         for name in site_names)

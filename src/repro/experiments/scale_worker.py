@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..control import Admitted, ControlPlane
+from ..scenarios.invariants import check_all
 from ..sim import Environment, EpochReport, read_peak_rss_kb
 from .scale import (
     WARMUP_S,
@@ -26,6 +27,7 @@ from .scale import (
     SessionProfile,
     _attach_agent,
     _build_site_veem,
+    _install_chaos,
     _scale_manifest,
     _start_defrag,
     _start_session_driver,
@@ -82,6 +84,15 @@ class ScaleShard:
             self.requests.append(outcome.request)
             self.states.append(_start_session_driver(self.env, profile, cfg))
 
+        # Chaos must be installed before any kernel advance so its delays
+        # line up with the oracle's (timeouts are relative to install time).
+        # Events are restricted to this shard's sites inside the helper.
+        _install_chaos(
+            self.env, cfg, spec.site_names, self.veems,
+            control=self.control,
+            managers_by_site={cs.name: cs.manager
+                              for cs in self.control.sites})
+
         # Same warm-up as the oracle: deploy the initial fleet, then wire
         # the monitoring agents and start the census on the shared grid.
         self.env.run(until=WARMUP_S)
@@ -113,15 +124,20 @@ class ScaleShard:
             (name, veem.table.active_count)
             for name, veem in zip(self.spec.site_names, self.veems)
         ]
+        payload = {
+            "samples": self.samples,
+            "site_fleets": site_fleets,
+            "dead_skipped": self.env.dead_skipped,
+        }
+        if self.spec.cfg.check_invariants:
+            payload["violations"] = [
+                str(v) for v in check_all(self.control, self.veems,
+                                          self.control.trace)]
         return EpochReport(
             shard=self.spec.shard, now=self.env.now,
             events_processed=self.env.events_processed,
             peak_rss_kb=read_peak_rss_kb(),
-            payload={
-                "samples": self.samples,
-                "site_fleets": site_fleets,
-                "dead_skipped": self.env.dead_skipped,
-            })
+            payload=payload)
 
 
 def make_shard(spec: ShardSpec) -> ScaleShard:

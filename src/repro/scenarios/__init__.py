@@ -1,0 +1,104 @@
+"""Scenario factory: workloads, chaos, invariants, experiments (§16).
+
+Three cooperating parts:
+
+* :mod:`.workloads` — composable, seeded workload generators (diurnal
+  curves, flash crowds, heavy-tailed session lengths, tenant mixes)
+  emitting the session streams the scale harness drives services with;
+* :mod:`.chaos` — fault injection (host crashes, spot preemption,
+  correlated site outages, network partitions) as first-class DES events
+  with recovery hooks and ``chaos.*`` trace records;
+* :mod:`.invariants` — the post-cell system checks (no oversubscription,
+  requests settled, accounting consistent, no orphan spans);
+* :mod:`.runner` — the sweep-driven experiment runner behind
+  ``python -m repro experiment``;
+* :mod:`.library` — the named integration setups the chaos/failure test
+  suites are thin wrappers over.
+
+``runner`` and ``library`` are imported lazily: they depend on
+:mod:`repro.experiments`, which itself imports this package's generators —
+the eager surface here must stay dependency-light to keep that one-way.
+"""
+
+from .chaos import (
+    ChaosEvent,
+    HostCrash,
+    NetworkPartition,
+    Oversubscribe,
+    SiteOutage,
+    SpotPreemption,
+    install_chaos,
+    restrict_event,
+    sites_of,
+)
+from .invariants import (
+    Violation,
+    check_accounting,
+    check_all,
+    check_no_orphan_spans,
+    check_no_oversubscription,
+    check_requests_settled,
+)
+from .workloads import (
+    LOAD_UNIT,
+    SessionProfile,
+    WorkloadError,
+    WORKLOADS,
+    draw_profiles,
+    hill_estimator,
+    offered_load,
+    schedule_mean,
+    workload,
+    workload_names,
+)
+
+__all__ = [
+    "ChaosEvent",
+    "HostCrash",
+    "NetworkPartition",
+    "Oversubscribe",
+    "SiteOutage",
+    "SpotPreemption",
+    "install_chaos",
+    "restrict_event",
+    "sites_of",
+    "Violation",
+    "check_accounting",
+    "check_all",
+    "check_no_orphan_spans",
+    "check_no_oversubscription",
+    "check_requests_settled",
+    "LOAD_UNIT",
+    "SessionProfile",
+    "WorkloadError",
+    "WORKLOADS",
+    "draw_profiles",
+    "hill_estimator",
+    "offered_load",
+    "schedule_mean",
+    "workload",
+    "workload_names",
+    # lazy (import on attribute access):
+    "Scenario",
+    "SCENARIOS",
+    "run_experiment",
+    "parse_sweep",
+]
+
+
+def __getattr__(name: str):
+    # importlib (not ``from . import``): the from-import form re-enters
+    # this hook while resolving the submodule attribute and recurses.
+    if name in ("Scenario", "SCENARIOS", "run_experiment", "parse_sweep",
+                "runner"):
+        import importlib
+
+        runner = importlib.import_module(".runner", __name__)
+        if name == "runner":
+            return runner
+        return getattr(runner, name)
+    if name == "library":
+        import importlib
+
+        return importlib.import_module(".library", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

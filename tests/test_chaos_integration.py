@@ -5,49 +5,22 @@ at once: monitoring survives VM migration ("Migration: so that any virtual
 resource which moves from one physical host to another is monitored
 correctly"), the elastic application rides through host failures, and the
 system converges back to a consistent, constraint-clean state.
+
+Topologies come from the named setups in :mod:`repro.scenarios.library`;
+each test only injects its fault and asserts.
 """
 
-from repro.cloud import Host, HypervisorTimings, ImageRepository, VEEM, VMState
-from repro.core.manifest import ManifestBuilder
-from repro.core.service_manager import ServiceManager
-from repro.grid import (
-    CondorExecDriver,
-    CondorScheduler,
-    Job,
-    JobState,
-    VirtualCluster,
-)
-from repro.monitoring import MeasurementJournal, MonitoringAgent
+from repro.cloud import VMState
+from repro.grid import Job, JobState
+from repro.scenarios import library
 from repro.sim import Environment, RandomStreams
-
-TIMINGS = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2,
-                            migrate_suspend_s=2)
-
-
-def make_sm(env, n_hosts=4):
-    repo = ImageRepository(bandwidth_mb_per_s=1000)
-    veem = VEEM(env, repository=repo)
-    for i in range(n_hosts):
-        veem.add_host(Host(env, f"h{i}", cpu_cores=8, memory_mb=16384,
-                           timings=TIMINGS))
-    return ServiceManager(env, veem)
 
 
 def test_monitoring_survives_migration():
     """A migrated VM's agent keeps publishing without interruption."""
     env = Environment()
-    sm = make_sm(env)
-    b = ManifestBuilder("svc")
-    b.component("app", image_mb=100, cpu=1, memory_mb=1024)
-    service = sm.deploy(b.build(), service_id="svc-1")
-    env.run(until=service.deployment)
-    vm = service.lifecycle.components["app"].vms[0]
-
-    journal = MeasurementJournal()
-    journal.subscribe_to(sm.network)
-    agent = MonitoringAgent(env, service_id="svc-1", component="app",
-                            network=sm.network)
-    agent.expose("svc.app.heartbeat", lambda: 1, frequency_s=10)
+    stage = library.build("monitored-web", env)
+    sm, vm, journal = stage.sm, stage.vm, stage.journal
 
     env.run(until=env.now + 35)
     before = len(journal)
@@ -72,42 +45,8 @@ def test_elastic_grid_rides_through_host_failure():
     """Jobs complete despite a mid-run host failure killing several exec
     VMs; the elasticity rules rebuild the cluster and the queue drains."""
     env = Environment()
-    sm = make_sm(env, n_hosts=4)
-    sm.veem.repository.add("exec-img", size_mb=100,
-                           href="http://sm.internal/images/exec")
-
-    b = ManifestBuilder("grid")
-    b.component("exec", image_mb=100, cpu=1, memory_mb=1024,
-                image_href="http://sm.internal/images/exec",
-                initial=0, minimum=0, maximum=12)
-    b.kpi("GM", "exec", "grid.queue.size", frequency_s=10, default=0)
-    b.kpi("Cluster", "exec", "grid.exec.instances", frequency_s=10,
-          default=0)
-    b.rule("bootstrap", "(@grid.queue.size > 0) && "
-                        "(@grid.exec.instances < 2)", "deployVM(exec)")
-    b.rule("up", "(@grid.queue.size / (@grid.exec.instances + 1) > 2) && "
-                 "(@grid.exec.instances < 12)", "deployVM(exec)")
-    manifest = b.build()
-
-    scheduler = CondorScheduler(env, match_delay_s=0.5, trace=sm.trace)
-    from repro.cloud import DeploymentDescriptor
-    cluster = VirtualCluster(
-        env, sm.veem, scheduler,
-        descriptor_template=DeploymentDescriptor(
-            name="exec", memory_mb=1024, cpu=1,
-            disk_source="http://sm.internal/images/exec",
-            service_id="grid-1", component_id="exec"),
-        registration_delay_s=5)
-    service = sm.deploy(manifest, service_id="grid-1",
-                        drivers={"exec": CondorExecDriver(cluster)})
-    env.run(until=service.deployment)
-
-    agent = MonitoringAgent(env, service_id="grid-1", component="GM",
-                            network=sm.network)
-    agent.expose("grid.queue.size", lambda: scheduler.queue_size,
-                 frequency_s=10)
-    agent.expose("grid.exec.instances", lambda: cluster.instance_count,
-                 frequency_s=10)
+    stage = library.build("elastic-grid", env)
+    sm, scheduler, service = stage.sm, stage.scheduler, stage.service
 
     rng = RandomStreams(5).stream("jobs")
     jobs = [Job(duration_s=float(rng.uniform(60, 240)),
@@ -136,19 +75,8 @@ def test_elastic_grid_rides_through_host_failure():
 
 def test_two_tenants_with_failures_stay_isolated():
     env = Environment()
-    sm = make_sm(env, n_hosts=4)
-
-    def tenant_manifest():
-        b = ManifestBuilder("web")
-        b.component("web", image_mb=100, cpu=1, memory_mb=1024,
-                    initial=2, minimum=2, maximum=4)
-        b.kpi("LB", "web", "web.load.level", default=0)
-        b.rule("up", "(@web.load.level > 100) && (1 < 0)", "deployVM(web)")
-        return b.build()
-
-    a = sm.deploy(tenant_manifest(), service_id="tenant-A")
-    b_svc = sm.deploy(tenant_manifest(), service_id="tenant-B")
-    env.run(until=env.all_of([a.deployment, b_svc.deployment]))
+    stage = library.build("two-web-tenants", env)
+    sm, a, b_svc = stage.sm, stage.a, stage.b
 
     # Kill one VM of tenant A; only A heals, B is untouched.
     victim = a.lifecycle.components["web"].vms[0]

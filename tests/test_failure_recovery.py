@@ -5,6 +5,9 @@ resources as demand grows or components become unavailable" — these tests
 crash VMs and whole hosts and verify the stack heals: the lifecycle manager
 redeploys below-minimum components, the scheduler requeues interrupted jobs,
 and placement avoids failed hosts.
+
+Topologies and manifests come from :mod:`repro.scenarios.library`; the
+tests here only inject faults and assert.
 """
 
 import pytest
@@ -12,43 +15,24 @@ import pytest
 from repro.cloud import (
     DeploymentDescriptor,
     Host,
-    HypervisorTimings,
-    ImageRepository,
     LifecycleError,
     PlacementError,
-    VEEM,
     VMState,
 )
 from repro.core.manifest import ManifestBuilder
 from repro.core.service_manager import ServiceManager
-from repro.grid import (
-    CondorScheduler,
-    Job,
-    JobState,
-    VirtualCluster,
+from repro.grid import Job, JobState
+from repro.scenarios.library import (
+    FAILURE_TIMINGS,
+    build_cluster,
+    make_veem,
+    simple_manifest,
 )
 from repro.sim import Environment
 
-TIMINGS = HypervisorTimings(define_s=1, boot_s=10, shutdown_s=2)
 
-
-def make_veem(env, n_hosts=3):
-    repo = ImageRepository(bandwidth_mb_per_s=1000)
-    veem = VEEM(env, repository=repo)
-    for i in range(n_hosts):
-        veem.add_host(Host(env, f"h{i}", cpu_cores=8, memory_mb=16384,
-                           timings=TIMINGS))
-    return veem
-
-
-def simple_manifest(minimum=1, initial=1, maximum=3):
-    b = ManifestBuilder("svc")
-    b.component("web", image_mb=500, cpu=1, memory_mb=1024,
-                initial=initial, minimum=minimum, maximum=maximum)
-    if maximum > minimum:
-        b.kpi("C", "web", "a.b", default=0)
-        b.rule("up", "@a.b > 1000000", "deployVM(web)")
-    return b.build()
+def failure_veem(env, n_hosts=3):
+    return make_veem(env, n_hosts, timings=FAILURE_TIMINGS)
 
 
 # ---------------------------------------------------------------------------
@@ -57,7 +41,7 @@ def simple_manifest(minimum=1, initial=1, maximum=3):
 
 def test_vm_failure_releases_resources():
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     vm = veem.submit(DeploymentDescriptor(
         name="x", memory_mb=1024, cpu=1,
         disk_source=veem.repository.add("img", 100).href,
@@ -76,7 +60,7 @@ def test_vm_failure_releases_resources():
 def test_vm_failure_during_boot_is_safe():
     """Failing a VM mid-provisioning must not crash the deploy process."""
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     href = veem.repository.add("img", 100).href
     vm = veem.submit(DeploymentDescriptor(
         name="x", memory_mb=1024, cpu=1, disk_source=href,
@@ -91,7 +75,7 @@ def test_vm_failure_during_boot_is_safe():
 
 def test_vm_failure_on_inactive_rejected():
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     href = veem.repository.add("img", 100).href
     vm = veem.submit(DeploymentDescriptor(
         name="x", memory_mb=1024, cpu=1, disk_source=href,
@@ -104,7 +88,7 @@ def test_vm_failure_on_inactive_rejected():
 
 def test_host_failure_kills_all_residents():
     env = Environment()
-    veem = make_veem(env, n_hosts=2)
+    veem = failure_veem(env, n_hosts=2)
     href = veem.repository.add("img", 100).href
     vms = [veem.submit(DeploymentDescriptor(
         name=f"x{i}", memory_mb=1024, cpu=1, disk_source=href,
@@ -121,7 +105,7 @@ def test_host_failure_kills_all_residents():
 
 def test_failed_host_excluded_from_placement():
     env = Environment()
-    veem = make_veem(env, n_hosts=2)
+    veem = failure_veem(env, n_hosts=2)
     href = veem.repository.add("img", 100).href
     veem.inject_host_failure(veem.hosts[0])
     vm = veem.submit(DeploymentDescriptor(
@@ -139,7 +123,7 @@ def test_failed_host_excluded_from_placement():
 
 def test_host_recovery_restores_placement():
     env = Environment()
-    veem = make_veem(env, n_hosts=1)
+    veem = failure_veem(env, n_hosts=1)
     href = veem.repository.add("img", 100).href
     veem.inject_host_failure(veem.hosts[0])
     veem.recover_host(veem.hosts[0])
@@ -152,7 +136,7 @@ def test_host_recovery_restores_placement():
 
 def test_unmanaged_host_failure_rejected():
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     alien = Host(env, "alien")
     with pytest.raises(PlacementError):
         veem.inject_host_failure(alien)
@@ -166,7 +150,7 @@ def test_unmanaged_host_failure_rejected():
 
 def test_failed_fixed_component_is_redeployed():
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     sm = ServiceManager(env, veem)
     service = sm.deploy(simple_manifest(minimum=1, initial=1, maximum=1))
     env.run(until=service.deployment)
@@ -186,7 +170,7 @@ def test_healing_respects_elastic_floor():
     """An elastic component above its minimum is NOT healed — the rules own
     that capacity decision; below the minimum it is."""
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     sm = ServiceManager(env, veem)
     service = sm.deploy(simple_manifest(minimum=1, initial=1, maximum=3))
     env.run(until=service.deployment)
@@ -210,7 +194,7 @@ def test_healing_respects_elastic_floor():
 
 def test_auto_heal_can_be_disabled():
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     sm = ServiceManager(env, veem)
     service = sm.deploy(simple_manifest())
     env.run(until=service.deployment)
@@ -223,7 +207,7 @@ def test_auto_heal_can_be_disabled():
 def test_scale_down_victim_is_not_healed():
     """Releasing an instance (scale-down) must never trigger healing."""
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     sm = ServiceManager(env, veem)
     service = sm.deploy(simple_manifest(minimum=1, initial=1, maximum=3))
     env.run(until=service.deployment)
@@ -237,7 +221,7 @@ def test_scale_down_victim_is_not_healed():
 
 def test_termination_does_not_heal():
     env = Environment()
-    veem = make_veem(env)
+    veem = failure_veem(env)
     sm = ServiceManager(env, veem)
     service = sm.deploy(simple_manifest())
     env.run(until=service.deployment)
@@ -249,7 +233,7 @@ def test_termination_does_not_heal():
 def test_host_failure_heals_whole_service():
     """Every component on a failed host is replaced on surviving hosts."""
     env = Environment()
-    veem = make_veem(env, n_hosts=3)
+    veem = failure_veem(env, n_hosts=3)
     sm = ServiceManager(env, veem)
     b = ManifestBuilder("multi")
     b.component("a", image_mb=100, cpu=2, memory_mb=2048)
@@ -272,19 +256,6 @@ def test_host_failure_heals_whole_service():
 # ---------------------------------------------------------------------------
 # Scheduler node failure / job requeue
 # ---------------------------------------------------------------------------
-
-def build_cluster(env, n_hosts=2):
-    veem = make_veem(env, n_hosts)
-    veem.repository.add("condor-exec", size_mb=100)
-    sched = CondorScheduler(env, match_delay_s=0.5)
-    template = DeploymentDescriptor(
-        name="condor-exec", memory_mb=2048, cpu=1,
-        disk_source="http://sm.internal/images/condor-exec",
-        service_id="polymorph", component_id="CondorExec")
-    cluster = VirtualCluster(env, veem, sched, template,
-                             registration_delay_s=5)
-    return veem, sched, cluster
-
 
 def test_node_failure_requeues_running_job():
     env = Environment()
