@@ -39,6 +39,7 @@ HEADLINE = (
     "test_kernel_10m_events",
     "test_vm_table_capacity_scan",
     "test_scenario_runner_overhead",
+    "test_metrics_merge_overhead",
 )
 
 #: Recorded in the baseline for context (e.g. the linear-scan routing mode

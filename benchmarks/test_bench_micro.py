@@ -647,3 +647,81 @@ def test_scenario_runner_overhead(benchmark):
     benchmark.extra_info["cell_wall_s"] = round(report.wall_s, 4)
     benchmark.extra_info["bare_wall_s"] = round(bare_wall, 4)
     benchmark.extra_info["scenario_overhead_x"] = round(overhead, 2)
+
+
+def test_metrics_merge_overhead(benchmark):
+    """Telemetry shipping cost per epoch barrier: snapshot a worker-shaped
+    registry, pickle it across the "pipe", and fold it into a coordinator
+    registry with ``merge_snapshot``.
+
+    The registry is populated by actually running the CI smoke federation
+    (2 sites x 8 services, 0.25 h), so the instrument mix — per-site
+    counters, labelled histograms, control-plane tallies — matches what a
+    real worker ships. The measured round-trip is the *first* epoch's
+    worst case (every instrument ships); later epochs ship deltas only.
+    Headline-gated, and additionally bounded against the epoch's own
+    simulation wall-clock: merging must stay under 5 % or per-epoch
+    telemetry would tax the parallel harness it instruments.
+    """
+    import pickle
+    from time import perf_counter
+
+    from repro.control import ControlPlane
+    from repro.experiments.scale import (
+        WARMUP_S,
+        ScaleConfig,
+        _attach_agent,
+        _build_site_veem,
+        _draw_profiles,
+        _register_tenants,
+        _scale_manifest,
+        _start_session_driver,
+        _submit_all,
+    )
+    from repro.obs.metrics import (
+        MetricsRegistry,
+        SnapshotCursor,
+        canonical_view,
+    )
+
+    cfg = ScaleConfig(sites=2, services=8, hours=0.25, settle_s=120.0)
+    t0 = perf_counter()
+    env = Environment()
+    control = ControlPlane(env)
+    for name in (f"site-{s}" for s in range(cfg.sites)):
+        control.add_site(name, _build_site_veem(env, cfg, name,
+                                                control.trace))
+    _register_tenants(control, cfg)
+    requests, *_ = _submit_all(control, cfg, _scale_manifest(cfg))
+    states = [_start_session_driver(env, profile, cfg)
+              for profile in _draw_profiles(cfg, requests)]
+    env.run(until=WARMUP_S)
+    site_by_name = {s.name: s for s in control.sites}
+    for request, state in zip(requests, states):
+        if request.service is not None:
+            _attach_agent(env, cfg, site_by_name[request.site].manager,
+                          request.service_id, state)
+    env.run(until=cfg.duration_s + cfg.settle_s)
+    sim_wall = perf_counter() - t0
+    epochs = max(1, int((cfg.duration_s + cfg.settle_s) // cfg.epoch_s))
+    epoch_wall = sim_wall / epochs
+
+    def roundtrip():
+        snap = SnapshotCursor().snapshot(env.metrics)
+        coordinator = MetricsRegistry()
+        coordinator.merge_snapshot(pickle.loads(pickle.dumps(snap)))
+        return coordinator
+
+    coordinator = benchmark(roundtrip)
+    assert canonical_view(coordinator) == canonical_view(env.metrics)
+
+    t0 = perf_counter()
+    roundtrip()
+    merge_s = perf_counter() - t0
+    fraction = merge_s / epoch_wall if epoch_wall > 0 else 0.0
+    benchmark.extra_info["instruments"] = len(env.metrics)
+    benchmark.extra_info["epoch_wall_s"] = round(epoch_wall, 4)
+    benchmark.extra_info["merge_fraction_of_epoch"] = round(fraction, 5)
+    assert fraction < 0.05, (
+        f"epoch telemetry merge took {fraction:.1%} of the epoch's "
+        f"simulation wall-clock ({merge_s:.4f}s vs {epoch_wall:.4f}s)")

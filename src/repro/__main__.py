@@ -52,6 +52,12 @@ Commands
     Run the same scenario and print the observability report: the span
     tree, a Prometheus-style metrics dump, and the §4.2.3 time-constraint
     audit; optionally export Chrome trace-event / JSONL files.
+``report <runs/*.jsonl> [--filter k=v] [--metrics a,b,...]``
+    Analytics over the experiment corpus: per-run summary tables,
+    percentiles, ASCII sparklines per swept parameter, cell-vs-baseline
+    and run-vs-run diffs, and a violations section pointing at cell
+    indices and flight-recorder dumps. Output is deterministic (same
+    corpus ⇒ byte-identical report); exit 1 if any record failed.
 """
 
 from __future__ import annotations
@@ -379,6 +385,8 @@ def _cmd_control_demo(args) -> int:
 
 
 def _cmd_scale(args) -> int:
+    import json
+
     from .experiments.scale import (
         ScaleConfig,
         run_scale,
@@ -394,6 +402,14 @@ def _cmd_scale(args) -> int:
         defrag_every_h=args.defrag_every,
     )
     say = lambda m: print(m, file=sys.stderr)  # noqa: E731
+    profiler = None
+    if args.profile:
+        if cfg.procs > 1:
+            print("--profile needs --procs 1 (worker kernels live in "
+                  "other processes)", file=sys.stderr)
+            return 2
+        from .obs import SimProfiler
+        profiler = SimProfiler()
     if args.verify_oracle:
         if cfg.procs <= 1:
             print("--verify-oracle needs --procs > 1", file=sys.stderr)
@@ -411,9 +427,33 @@ def _cmd_scale(args) -> int:
         print(f"\noracle agreement: sharded --procs {cfg.procs} matches "
               f"--procs 1 decision-for-decision")
         return 0
-    report = run_scale(cfg, progress=say)
+    report = run_scale(cfg, progress=say, profiler=profiler)
     print(report.render())
+    if profiler is not None:
+        with open(args.profile, "w") as fh:
+            json.dump(profiler.chrome_trace(), fh, sort_keys=True)
+        print(profiler.render(), file=sys.stderr)
+        print(f"profile written to {args.profile} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
     return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs.report import report_main
+
+    metrics = None
+    if args.metrics:
+        metrics = tuple(m.strip() for m in args.metrics.split(",")
+                        if m.strip())
+    try:
+        return report_main(args.paths, filters=args.filter or (),
+                           metrics=metrics)
+    except BrokenPipeError:
+        # `repro report ... | head` closes stdout early; redirect the
+        # remaining writes to devnull so shutdown doesn't traceback.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -581,6 +621,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-oracle", action="store_true",
                    help="also run the --procs 1 oracle and fail on any "
                         "decision-outcome divergence")
+    p.add_argument("--profile", metavar="FILE", default=None,
+                   help="attach the sim-time profiler and write a "
+                        "Chrome-trace JSON (--procs 1 only)")
     p.set_defaults(func=_cmd_scale)
 
     p = sub.add_parser("experiment",
@@ -600,6 +643,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true",
                    help="print the scenario catalogue and exit")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("report",
+                       help="analytics over the experiment JSONL corpus "
+                            "(tables, percentiles, sparklines, diffs — "
+                            "DESIGN §17)")
+    p.add_argument("paths", nargs="+", metavar="JSONL",
+                   help="experiment JSONL file(s), e.g. runs/*.jsonl")
+    p.add_argument("--filter", action="append", metavar="KEY=VALUE",
+                   help="keep records whose field or sweep-cell key "
+                        "equals VALUE (repeatable)")
+    p.add_argument("--metrics", default=None, metavar="A,B,...",
+                   help="comma-separated record fields for the tables "
+                        "(default: admitted,queued,rejected,peak_vms,"
+                        "final_vms,peak_queue_depth)")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("obs-report",
                        help="observability report over the control-demo "

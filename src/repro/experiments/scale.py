@@ -36,13 +36,16 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..cloud import Host, HostType, HypervisorTimings, ImageRepository, VEEM
 from ..control import Admitted, ControlPlane, Queued
 from ..core.manifest import ManifestBuilder
 from ..monitoring import MonitoringAgent
+from ..obs.audit import TimeConstraintAuditor, audit_violation_strings
+from ..obs.metrics import canonical_view
+from ..obs.recorder import FlightRecorder
 from ..scenarios.chaos import (
     NetworkPartition,
     install_chaos,
@@ -118,8 +121,13 @@ class ScaleConfig:
     #: run the repro.scenarios.invariants suite at end of run (per shard
     #: under ``procs > 1``) and report violations on the ScaleReport
     check_invariants: bool = False
+    #: flight-recorder ring capacity (recent trace records kept per
+    #: process, dumped on failure); 0 disables the recorder
+    flight_recorder: int = 256
 
     def __post_init__(self) -> None:
+        if self.flight_recorder < 0:
+            raise ValueError("flight_recorder must be >= 0")
         if self.sites <= 0 or self.services <= 0 or self.hours <= 0:
             raise ValueError("sites, services and hours must be positive")
         if self.tenants <= 0:
@@ -198,6 +206,15 @@ class ScaleReport:
     site_fleets: tuple = ()
     #: invariant violations (stringified), when cfg.check_invariants ran
     violations: tuple = ()
+    #: federation-wide canonical metric view (owned instruments only,
+    #: plane labels stripped) — merged across workers under ``procs > 1``
+    metrics: dict = field(default_factory=dict)
+    #: time-constraint audit: rule firings checked, late invocations
+    audit_findings: int = 0
+    audit_violations: tuple = ()
+    #: flight-recorder snapshot (recent trace records) when the run ended
+    #: with violations; empty otherwise. Not part of decision outcomes.
+    flight: tuple = ()
 
     @property
     def events_per_sec(self) -> float:
@@ -225,6 +242,9 @@ class ScaleReport:
             "peak_vms": self.peak_vms,
             "final_vms": self.final_vms,
             "site_fleets": tuple(self.site_fleets),
+            "metrics": dict(self.metrics),
+            "audit_findings": self.audit_findings,
+            "audit_violations": tuple(self.audit_violations),
         }
 
     def render(self) -> str:
@@ -248,9 +268,17 @@ class ScaleReport:
             f"peak RSS:          {self.peak_rss_kb / 1024:.1f} MB "
             f"({self.rss_mb_per_1k_vms:.1f} MB per 1k VMs)",
         ]
+        lines.append(
+            f"audit:             {self.audit_findings} rule firing(s), "
+            f"{len(self.audit_violations)} late")
         if self.violations:
             lines.append(f"INVARIANT VIOLATIONS ({len(self.violations)}):")
             lines.extend(f"  - {v}" for v in self.violations)
+        if self.audit_violations:
+            lines.append(
+                f"TIME-CONSTRAINT VIOLATIONS "
+                f"({len(self.audit_violations)}):")
+            lines.extend(f"  - {v}" for v in self.audit_violations)
         return "\n".join(lines)
 
 
@@ -461,10 +489,15 @@ def _install_chaos(env, cfg: ScaleConfig, site_names, veems,
 # Execution: single process (the differential oracle)
 # ---------------------------------------------------------------------------
 
-def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
+def _run_scale_single(cfg: ScaleConfig, say,
+                      profiler=None) -> ScaleReport:
     wall_start = time.perf_counter()
     env = Environment(reference=cfg.reference)
+    if profiler is not None:
+        profiler.attach(env)
     control = ControlPlane(env)
+    recorder = (FlightRecorder(control.trace, cfg.flight_recorder)
+                if cfg.flight_recorder > 0 else None)
 
     say(f"building {cfg.sites} site(s) × {cfg.hosts_per_site} host(s) ...")
     veems = []
@@ -514,7 +547,24 @@ def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
     if cfg.check_invariants:
         say("checking invariants ...")
         violations = tuple(str(v) for v in
-                           check_all(control, veems, control.trace))
+                           check_all(control, veems, control.trace,
+                                     metrics=env.metrics))
+
+    # §4.2.3 time-constraint audit + the canonical metric view. Same
+    # counters, in the same order, as the sharded workers increment —
+    # the audit/invariant tallies land in the registry *before* the view
+    # is built, exactly as worker snapshots are taken after both.
+    audit_report = TimeConstraintAuditor(control.trace).audit()
+    audit_violations = tuple(audit_violation_strings(audit_report.findings))
+    env.metrics.counter("obs.audit.firings").inc(len(audit_report.findings))
+    env.metrics.counter("obs.audit.violations").inc(len(audit_violations))
+    metrics_view = canonical_view(env.metrics)
+
+    flight: tuple = ()
+    if recorder is not None:
+        if violations or audit_violations:
+            flight = recorder.snapshot()
+        recorder.close()
 
     wall_s = time.perf_counter() - wall_start
     depth_series = control.series["queue.depth"]
@@ -534,6 +584,10 @@ def _run_scale_single(cfg: ScaleConfig, say) -> ScaleReport:
         final_vms=sum(count for _name, count in site_fleets),
         site_fleets=site_fleets,
         violations=violations,
+        metrics=metrics_view,
+        audit_findings=len(audit_report.findings),
+        audit_violations=audit_violations,
+        flight=flight,
     )
 
 
@@ -592,11 +646,23 @@ def _run_scale_sharded(cfg: ScaleConfig, say) -> ScaleReport:
     end = cfg.duration_s + cfg.settle_s
     events_processed = 0
     dead_skipped = 0
+    merged_findings: list = []
+
+    def fold_telemetry(report) -> None:
+        # Counter deltas, gauge finals and histogram tails from the shard
+        # fold into the coordinator's planning registry — which already
+        # holds the submission-time counters the workers baselined away —
+        # so the union is the same federation-wide view as ``procs=1``.
+        if report.metrics:
+            plan_env.metrics.merge_snapshot(report.metrics)
+        merged_findings.extend(report.findings)
+
     with ShardPool(make_shard, specs) as pool:
         now = WARMUP_S
         while now < end:
             now = min(now + cfg.epoch_s, end)
-            pool.epoch(now)
+            for report in pool.epoch(now):
+                fold_telemetry(report)
         finals = pool.stop()
 
     # Phase 3 — merge: census samples share one time grid across shards,
@@ -605,17 +671,26 @@ def _run_scale_sharded(cfg: ScaleConfig, say) -> ScaleReport:
     fleet_by_site: dict[str, int] = {}
     workers_rss_kb = 0
     violations: list = []
+    flight_records: list = []
     for report in finals:
         events_processed += report.events_processed
         dead_skipped += report.payload.get("dead_skipped", 0)
         workers_rss_kb += report.peak_rss_kb
+        fold_telemetry(report)
         for t, total in report.payload["samples"]:
             merged[t] = merged.get(t, 0) + total
         fleet_by_site.update(report.payload["site_fleets"])
         violations.extend(report.payload.get("violations", ()))
+        for rec in report.payload.get("flight", ()):
+            flight_records.append(dict(rec, shard=report.shard))
+    flight_records.sort(key=lambda r: (r["time"], r["shard"]))
     peak_vms = max(merged.values(), default=0)
     site_fleets = tuple((name, fleet_by_site.get(name, 0))
                         for name in site_names)
+    # Workers already incremented (and shipped) the audit counters; the
+    # coordinator only renders the union of their findings.
+    audit_violations = tuple(audit_violation_strings(merged_findings))
+    metrics_view = canonical_view(plan_env.metrics)
 
     wall_s = time.perf_counter() - wall_start
     return ScaleReport(
@@ -631,17 +706,29 @@ def _run_scale_sharded(cfg: ScaleConfig, say) -> ScaleReport:
         procs=cfg.procs,
         final_vms=sum(count for _name, count in site_fleets),
         site_fleets=site_fleets,
+        violations=tuple(violations),
+        metrics=metrics_view,
+        audit_findings=len(merged_findings),
+        audit_violations=audit_violations,
+        flight=tuple(flight_records),
     )
 
 
 def run_scale(cfg: Optional[ScaleConfig] = None, *,
-              progress=None) -> ScaleReport:
-    """Run one federation scale sweep and measure it."""
+              progress=None, profiler=None) -> ScaleReport:
+    """Run one federation scale sweep and measure it.
+
+    ``profiler`` (a :class:`~repro.obs.profile.SimProfiler`) attaches to
+    the kernel for the run; single-process only — a worker's kernel lives
+    in another process, out of the hook's reach.
+    """
     cfg = cfg or ScaleConfig()
     say = progress or (lambda _msg: None)
     if cfg.procs > 1:
+        if profiler is not None:
+            raise ValueError("profiling requires procs=1")
         return _run_scale_sharded(cfg, say)
-    return _run_scale_single(cfg, say)
+    return _run_scale_single(cfg, say, profiler=profiler)
 
 
 def verify_against_oracle(cfg: ScaleConfig, *,

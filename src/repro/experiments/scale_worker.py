@@ -16,9 +16,14 @@ coordinator as a :class:`~repro.sim.ShardError`.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
 
 from ..control import Admitted, ControlPlane
+from ..obs.audit import TimeConstraintAuditor, audit_violation_strings
+from ..obs.metrics import SnapshotCursor
+from ..obs.recorder import FlightRecorder
 from ..scenarios.invariants import check_all
 from ..sim import Environment, EpochReport, read_peak_rss_kb
 from .scale import (
@@ -57,6 +62,9 @@ class ScaleShard:
         cfg = spec.cfg
         self.env = Environment(reference=cfg.reference)
         self.control = ControlPlane(self.env)
+        self.recorder = (
+            FlightRecorder(self.control.trace, cfg.flight_recorder)
+            if cfg.flight_recorder > 0 else None)
         self.veems = []
         for name in spec.site_names:
             veem = _build_site_veem(self.env, cfg, name, self.control.trace)
@@ -83,6 +91,16 @@ class ScaleShard:
                     f"admitted: {outcome!r}")
             self.requests.append(outcome.request)
             self.states.append(_start_session_driver(self.env, profile, cfg))
+
+        # Telemetry baseline: the pinned replay just re-incremented the
+        # submission counters the coordinator's planning registry already
+        # holds, so the first (discarded) snapshot excludes them from every
+        # shipped delta. Taken before chaos install and warm-up — those
+        # run in the coordinator-free part of the timeline and must ship.
+        self._cursor = SnapshotCursor()
+        self._cursor.snapshot(self.env.metrics)
+        self._audit_cursor = 0
+        self._audit_violated = False
 
         # Chaos must be installed before any kernel advance so its delays
         # line up with the oracle's (timeouts are relative to install time).
@@ -113,13 +131,64 @@ class ScaleShard:
         # function of its own state, so shard and oracle plans coincide.
         _start_defrag(self.env, cfg, self.veems)
 
+    def _audit_epoch(self) -> tuple:
+        """Audit the rule firings closed since the last barrier, exactly
+        once: firings open and close within one dispatch, so every firing
+        visible here is final, and the span-id cursor never re-audits one.
+        The union across epochs equals a single end-of-run audit."""
+        report = TimeConstraintAuditor(self.control.trace).audit(
+            min_span_id=self._audit_cursor)
+        spans = self.control.trace.spans
+        if spans:
+            self._audit_cursor = max(spans) + 1
+        late = audit_violation_strings(report.findings)
+        if late:
+            self._audit_violated = True
+        metrics = self.env.metrics
+        metrics.counter("obs.audit.firings").inc(len(report.findings))
+        metrics.counter("obs.audit.violations").inc(len(late))
+        return tuple(report.findings)
+
+    def _crash_dump(self, exc: BaseException):
+        """Dump the flight ring before the traceback crosses the pipe; the
+        dump path rides in the chained error so the coordinator's
+        ShardError names it."""
+        if self.recorder is None:
+            raise exc
+        path = os.path.join(
+            tempfile.gettempdir(),
+            f"repro-flight-shard{self.spec.shard}-pid{os.getpid()}.jsonl")
+        try:
+            self.recorder.dump(path, reason=repr(exc))
+        except OSError:
+            raise exc from None
+        raise RuntimeError(
+            f"shard {self.spec.shard} failed; flight recorder dumped to "
+            f"{path}") from exc
+
     def run_epoch(self, until: float) -> EpochReport:
-        self.env.run(until=until)
+        try:
+            self.env.run(until=until)
+            findings = self._audit_epoch()
+            snapshot = self._cursor.snapshot(self.env.metrics)
+        except Exception as exc:
+            self._crash_dump(exc)
         return EpochReport(
             shard=self.spec.shard, now=self.env.now,
-            events_processed=self.env.events_processed)
+            events_processed=self.env.events_processed,
+            metrics=snapshot, findings=findings)
 
     def finish(self) -> EpochReport:
+        try:
+            return self._finish()
+        except Exception as exc:
+            self._crash_dump(exc)
+
+    def _finish(self) -> EpochReport:
+        # Residual firings since the last epoch barrier, then invariants
+        # (their violation tally lands in the registry), then the metric
+        # snapshot LAST so every increment ships.
+        findings = self._audit_epoch()
         site_fleets = [
             (name, veem.table.active_count)
             for name, veem in zip(self.spec.site_names, self.veems)
@@ -129,14 +198,22 @@ class ScaleShard:
             "site_fleets": site_fleets,
             "dead_skipped": self.env.dead_skipped,
         }
+        violations: list = []
         if self.spec.cfg.check_invariants:
-            payload["violations"] = [
+            violations = [
                 str(v) for v in check_all(self.control, self.veems,
-                                          self.control.trace)]
+                                          self.control.trace,
+                                          metrics=self.env.metrics)]
+            payload["violations"] = violations
+        if self.recorder is not None and (violations
+                                          or self._audit_violated):
+            payload["flight"] = self.recorder.snapshot()
         return EpochReport(
             shard=self.spec.shard, now=self.env.now,
             events_processed=self.env.events_processed,
             peak_rss_kb=read_peak_rss_kb(),
+            metrics=self._cursor.snapshot(self.env.metrics),
+            findings=findings,
             payload=payload)
 
 

@@ -15,7 +15,12 @@ package holds the primitives (:mod:`~repro.obs.spans`,
 (:mod:`~repro.obs.exporters`, :mod:`~repro.obs.audit`).
 """
 
-from .audit import AuditFinding, AuditReport, TimeConstraintAuditor
+from .audit import (
+    AuditFinding,
+    AuditReport,
+    TimeConstraintAuditor,
+    audit_violation_strings,
+)
 from .exporters import (
     chrome_trace,
     export_chrome_trace,
@@ -23,7 +28,17 @@ from .exporters import (
     prometheus_text,
     render_span_tree,
 )
-from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    SnapshotCursor,
+    canonical_view,
+)
+from .profile import SimProfiler
+from .recorder import FlightRecorder, dump_flight
 from .spans import Span, SpanError
 
 __all__ = [
@@ -34,6 +49,8 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "SnapshotCursor",
+    "canonical_view",
     "export_jsonl",
     "chrome_trace",
     "export_chrome_trace",
@@ -42,4 +59,8 @@ __all__ = [
     "AuditFinding",
     "AuditReport",
     "TimeConstraintAuditor",
+    "audit_violation_strings",
+    "FlightRecorder",
+    "dump_flight",
+    "SimProfiler",
 ]

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["AuditFinding", "AuditReport", "TimeConstraintAuditor"]
+__all__ = ["AuditFinding", "AuditReport", "TimeConstraintAuditor",
+           "audit_violation_strings"]
 
 #: Slack for float comparison on the deadline boundary.
 _EPS = 1e-9
@@ -98,9 +99,15 @@ class TimeConstraintAuditor:
     def __init__(self, trace):
         self.trace = trace
 
-    def audit(self) -> AuditReport:
+    def audit(self, *, min_span_id: int = 0) -> AuditReport:
+        """Audit every rule firing; ``min_span_id`` skips firings whose
+        span id is below it, so epoch-driven callers can audit each firing
+        exactly once (rule firings open and close within one dispatch, so
+        any firing visible at an epoch barrier is complete and final)."""
         findings: list[AuditFinding] = []
         for firing in self.trace.find_spans(kind="rule.firing"):
+            if firing.span_id < min_span_id:
+                continue
             constraint = firing.details.get("time_constraint_s")
             if constraint is None:
                 continue
@@ -132,3 +139,22 @@ class TimeConstraintAuditor:
                         (what, record.time, record.time - deadline))
             findings.append(finding)
         return AuditReport(findings)
+
+
+def audit_violation_strings(findings) -> list[str]:
+    """Render late invocations as sorted, span-id-free strings.
+
+    Span ids are process-local (a worker's span 40 is not the oracle's
+    span 40), so the cross-process comparable form carries only simulated
+    times and names. Sorted so the union of per-epoch worker findings
+    compares equal to a single end-of-run audit.
+    """
+    out = []
+    for f in findings:
+        for what, at, lateness in f.violations:
+            out.append(
+                f"time-constraint: {f.rule} (service={f.service}) {what} "
+                f"@{at:.3f}s late by {lateness:.3f}s "
+                f"(enabled @{f.enabled_at:.3f}s, "
+                f"constraint {f.time_constraint_s:g}s)")
+    return sorted(out)

@@ -133,6 +133,15 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_")
 
 
+def _prom_escape(value: str) -> str:
+    """Label-value escaping per the exposition format: backslash, double
+    quote, and newline must be escaped or a value like ``he said "hi"``
+    corrupts every sample after it."""
+    return (value.replace("\\", r"\\")
+                 .replace('"', r'\"')
+                 .replace("\n", r"\n"))
+
+
 def _prom_labels(labels: dict[str, str],
                  extra: Optional[dict[str, str]] = None) -> str:
     merged = dict(labels)
@@ -140,7 +149,8 @@ def _prom_labels(labels: dict[str, str],
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(f'{k}="{_prom_escape(str(v))}"'
+                     for k, v in sorted(merged.items()))
     return "{" + inner + "}"
 
 

@@ -35,7 +35,8 @@ import math
 import re
 from typing import Any, Callable, Iterator, Optional, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricError"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricError",
+           "SnapshotCursor", "canonical_view"]
 
 #: ``layer.component.metric`` — at least three lowercase dotted segments.
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+){2,}$")
@@ -126,12 +127,16 @@ class Gauge:
 class Histogram:
     """A distribution with exact quantile summaries (p50/p95/p99).
 
-    Observations are kept raw and sorted lazily on the first quantile read
-    after a write — simulations observe thousands of latencies, not
-    millions, so exactness beats the bookkeeping of streaming sketches here.
+    Observations are kept raw, in arrival order, and a *sorted copy* is
+    built lazily on the first quantile read after a write — simulations
+    observe thousands of latencies, not millions, so exactness beats the
+    bookkeeping of streaming sketches here. Arrival order is preserved
+    because :class:`SnapshotCursor` ships the tail ``_values[cursor:]``
+    across process boundaries; sorting in place would reshuffle already-
+    shipped observations under the cursor.
     """
 
-    __slots__ = ("name", "labels", "_values", "_sorted", "sum")
+    __slots__ = ("name", "labels", "_values", "_sorted_values", "sum")
 
     kind = "histogram"
 
@@ -139,7 +144,7 @@ class Histogram:
         self.name = name
         self.labels = labels
         self._values: list[float] = []
-        self._sorted = True
+        self._sorted_values: Optional[list[float]] = None
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
@@ -147,18 +152,27 @@ class Histogram:
         if math.isnan(value):
             raise MetricError(f"{self.name}: cannot observe NaN")
         self._values.append(value)
-        self._sorted = False
+        self._sorted_values = None
         self.sum += value
+
+    def merge(self, values) -> None:
+        """Fold observations shipped from another process, in their
+        original arrival order (so ``sum`` accumulates bit-identically to
+        the process that observed them)."""
+        for value in values:
+            self._values.append(value)
+            self.sum += value
+        if values:
+            self._sorted_values = None
 
     @property
     def count(self) -> int:
         return len(self._values)
 
     def _ensure_sorted(self) -> list[float]:
-        if not self._sorted:
-            self._values.sort()
-            self._sorted = True
-        return self._values
+        if self._sorted_values is None:
+            self._sorted_values = sorted(self._values)
+        return self._sorted_values
 
     def percentile(self, q: float) -> Optional[float]:
         """Exact quantile by the nearest-rank method; None when empty."""
@@ -266,6 +280,35 @@ class MetricsRegistry:
                 f"{name}{dict(key[1])!r} already owned as {existing.kind}")
         self._instruments[key] = _View(name, key[1], fn)
 
+    # -- cross-process merging ----------------------------------------------
+    def _merge_target(self, cls, name: str, label_key: LabelKey):
+        validate_metric_name(name)
+        key = (name, label_key)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, label_key)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise MetricError(
+                f"{name}{dict(label_key)!r} already registered as "
+                f"{instrument.kind}; snapshot carries a {cls.kind}")
+        return instrument
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`SnapshotCursor.snapshot` payload from another
+        process into this registry: counter deltas add, gauges adopt the
+        shipped final, histogram tails append in arrival order. Instruments
+        absent here are created; a kind conflict raises."""
+        for (name, label_key), (kind, payload) in sorted(snapshot.items()):
+            if kind == "counter":
+                self._merge_target(Counter, name, label_key).value += payload
+            elif kind == "gauge":
+                self._merge_target(Gauge, name, label_key).value = payload
+            elif kind == "histogram":
+                self._merge_target(Histogram, name, label_key).merge(payload)
+            else:
+                raise MetricError(f"unknown snapshot kind {kind!r}")
+
     # -- introspection -------------------------------------------------------
     def __len__(self) -> int:
         return len(self._instruments)
@@ -305,3 +348,88 @@ class MetricsRegistry:
             else:
                 out[name] = value
         return out
+
+
+class SnapshotCursor:
+    """Incremental, picklable snapshots of a registry's *owned* instruments.
+
+    Each :meth:`snapshot` call returns only what changed since the last one:
+    counter deltas, gauge finals (when moved), and histogram observation
+    tails in arrival order. The payload format is
+    ``{(name, LabelKey): (kind, delta | final | tuple_of_values)}`` — plain
+    builtins, safe to ship over a multiprocessing pipe. Views are excluded
+    (they read process-local attributes that cannot travel), as are zero
+    deltas and empty tails, keeping epoch payloads compact.
+
+    Workers take one discarded baseline snapshot right after replaying the
+    coordinator's pinned submissions, so the replay's counter increments —
+    already counted in the coordinator's planning registry — never ship.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], float] = {}
+        self._gauges: dict[tuple[str, LabelKey], float] = {}
+        self._hist_counts: dict[tuple[str, LabelKey], int] = {}
+
+    def snapshot(self, registry: MetricsRegistry) -> dict:
+        out: dict = {}
+        for key, instrument in registry._instruments.items():
+            if isinstance(instrument, Counter):
+                delta = instrument.value - self._counters.get(key, 0.0)
+                if delta:
+                    out[key] = ("counter", delta)
+                    self._counters[key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                if instrument.value != self._gauges.get(key):
+                    out[key] = ("gauge", instrument.value)
+                    self._gauges[key] = instrument.value
+            elif isinstance(instrument, Histogram):
+                seen = self._hist_counts.get(key, 0)
+                tail = instrument._values[seen:]
+                if tail:
+                    out[key] = ("histogram", tuple(tail))
+                    self._hist_counts[key] = len(instrument._values)
+        return out
+
+
+def canonical_view(registry: MetricsRegistry, *,
+                   strip: tuple = ("plane",)) -> dict[str, Any]:
+    """The federation-wide metric view used for oracle comparison.
+
+    Owned instruments only (views read process-local attributes and are
+    meaningless across a merge), with the ``plane`` label stripped —
+    ``ControlPlane`` numbers its metric streams with a module-level counter,
+    so ``plane1`` in the coordinator is ``plane3`` in a test that built two
+    earlier planes. Counters summed across stripped keys (zero counters
+    dropped), gauges kept as-is, histograms summarised after a
+    sorted-instrument-order merge (empty ones dropped). Keys render as
+    ``name`` or ``name{k=v,...}``, sorted.
+    """
+    counters: dict[tuple[str, LabelKey], float] = {}
+    gauges: dict[tuple[str, LabelKey], float] = {}
+    hists: dict[tuple[str, LabelKey], Histogram] = {}
+    for (name, labels), instrument in sorted(
+            registry._instruments.items(), key=lambda item: item[0]):
+        stripped = tuple(kv for kv in labels if kv[0] not in strip)
+        key = (name, stripped)
+        if isinstance(instrument, Counter):
+            counters[key] = counters.get(key, 0.0) + instrument.value
+        elif isinstance(instrument, Gauge):
+            gauges[key] = instrument.value
+        elif isinstance(instrument, Histogram):
+            target = hists.get(key)
+            if target is None:
+                hists[key] = target = Histogram(name, stripped)
+            target.merge(instrument._values)
+    out: dict[str, Any] = {}
+    entries: list[tuple[tuple[str, LabelKey], Any]] = []
+    entries.extend((k, v) for k, v in counters.items() if v)
+    entries.extend(gauges.items())
+    entries.extend((k, h.summary()) for k, h in hists.items() if h.count)
+    for (name, labels), value in sorted(entries, key=lambda item: item[0]):
+        if labels:
+            rendered = ",".join(f"{k}={v}" for k, v in labels)
+            out[f"{name}{{{rendered}}}"] = value
+        else:
+            out[name] = value
+    return out

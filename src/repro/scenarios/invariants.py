@@ -155,12 +155,19 @@ def check_no_orphan_spans(trace, control=None) -> list[Violation]:
     return out
 
 
-def check_all(control, veems, trace=None) -> list[Violation]:
-    """Every invariant family, in severity order."""
+def check_all(control, veems, trace=None, *, metrics=None) -> list[Violation]:
+    """Every invariant family, in severity order.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) tallies
+    violations under ``scenarios.invariants.violations`` — incremented
+    only when there are any, so a clean run's registry is byte-identical
+    to one checked without a registry."""
     trace = trace if trace is not None else control.trace
     out = []
     out.extend(check_no_oversubscription(veems))
     out.extend(check_requests_settled(control))
     out.extend(check_accounting(control))
     out.extend(check_no_orphan_spans(trace, control))
+    if metrics is not None and out:
+        metrics.counter("scenarios.invariants.violations").inc(len(out))
     return out

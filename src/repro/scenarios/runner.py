@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from ..experiments.scale import ScaleConfig, ScaleReport, run_scale
+from ..obs.recorder import dump_flight
 from .chaos import (
     ChaosEvent,
     HostCrash,
@@ -221,19 +222,28 @@ class CellResult:
 
     params: tuple
     report: ScaleReport
+    #: position in the sweep grid — the pointer from the summary table
+    #: and the JSONL back to the failing cell
+    index: int = 0
+    #: where this cell's flight-recorder dump landed (failing cells with
+    #: an out_dir only)
+    flight_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return not self.report.violations
 
     def record(self, scenario: Scenario, cfg: ScaleConfig) -> dict:
-        """The cell's JSONL record — deterministic fields only."""
+        """The cell's JSONL record — deterministic fields only (the flight
+        dump is referenced by file *name*: its directory varies with
+        ``--out``, its name is a pure function of scenario/seed/cell)."""
         return {
             "scenario": scenario.name,
             "workload": cfg.workload,
             "workload_params": dict(cfg.workload_params),
             "seed": cfg.random_seed,
             "cell": dict(self.params),
+            "cell_index": self.index,
             "sites": cfg.sites,
             "services": cfg.services,
             "hours": cfg.hours,
@@ -247,6 +257,10 @@ class CellResult:
             "peak_queue_depth": self.report.peak_queue_depth,
             "site_fleets": [list(pair) for pair in self.report.site_fleets],
             "violations": list(self.report.violations),
+            "audit_findings": self.report.audit_findings,
+            "audit_violations": list(self.report.audit_violations),
+            "flight_recorder": (Path(self.flight_path).name
+                                if self.flight_path else None),
             "ok": self.ok,
         }
 
@@ -276,8 +290,10 @@ class ExperimentResult:
                 f"{len(r.violations):>4}  "
                 f"{'ok' if cell.ok else 'INVARIANT VIOLATION'}")
         for cell in self.cells:
+            suffix = (f" (flight: {cell.flight_path})"
+                      if cell.flight_path else "")
             for violation in cell.report.violations:
-                lines.append(f"  !! {violation}")
+                lines.append(f"  !! [cell {cell.index}] {violation}{suffix}")
         if self.jsonl_path:
             lines.append(f"jsonl: {self.jsonl_path}")
         return "\n".join(lines)
@@ -311,6 +327,11 @@ def run_experiment(name: str, *, sweep=(), seed: Optional[int] = None,
     if hours is not None:
         forced["hours"] = hours
 
+    directory = None
+    if out_dir is not None:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+
     results = []
     records = []
     run_seed = None
@@ -322,8 +343,19 @@ def run_experiment(name: str, *, sweep=(), seed: Optional[int] = None,
         label = " ".join(f"{k}={v}" for k, v in sorted(merged.items()))
         say(f"[{index + 1}/{len(cells)}] {name} {label or '(defaults)'}")
         report = run_scale(cfg)
+        flight_path = None
+        if report.flight and directory is not None:
+            # Post-mortem for the failing cell: the last trace records
+            # before the violation, next to the JSONL it is named in.
+            flight_path = dump_flight(
+                directory / (f"{name}-seed{cfg.random_seed}"
+                             f"-cell{index}.flight.jsonl"),
+                report.flight,
+                reason="; ".join(report.violations)
+                       or "time-constraint violations")
         result = CellResult(params=tuple(sorted(merged.items())),
-                            report=report)
+                            report=report, index=index,
+                            flight_path=flight_path)
         results.append(result)
         records.append(result.record(scenario, cfg))
         status = "ok" if result.ok else "INVARIANT VIOLATION"
@@ -334,9 +366,7 @@ def run_experiment(name: str, *, sweep=(), seed: Optional[int] = None,
         run_seed = ScaleConfig().random_seed
 
     jsonl_path = None
-    if out_dir is not None:
-        directory = Path(out_dir)
-        directory.mkdir(parents=True, exist_ok=True)
+    if directory is not None:
         path = directory / f"{name}-seed{run_seed}.jsonl"
         with open(path, "w") as fh:
             for record in records:

@@ -93,12 +93,22 @@ class EpochReport:
     ``payload`` is experiment-defined (the scale harness puts census
     samples and fleet sizes there); everything in it must be picklable
     and *small* — the report is the entire cross-process traffic.
+
+    ``metrics`` carries the shard's incremental telemetry snapshot (a
+    :meth:`repro.obs.metrics.SnapshotCursor.snapshot` payload: counter
+    deltas, gauge finals, histogram tails) for the coordinator to fold
+    into its federation-wide registry; ``findings`` carries this epoch's
+    newly-closed :class:`~repro.obs.audit.AuditFinding` records. Both
+    default empty so experiments that predate telemetry merging keep
+    working unchanged.
     """
 
     shard: int
     now: float
     events_processed: int = 0
     peak_rss_kb: int = 0
+    metrics: Optional[dict] = None
+    findings: tuple = ()
     payload: dict[str, Any] = field(default_factory=dict)
 
 

@@ -74,9 +74,11 @@ def test_same_command_writes_byte_identical_jsonl(tmp_path):
     assert a == b
     records = [json.loads(line) for line in a.splitlines()]
     assert [r["cell"]["sites"] for r in records] == [2, 4]
+    assert [r["cell_index"] for r in records] == [0, 1]
     for record in records:
         assert record["ok"] is True and record["violations"] == []
         assert record["seed"] == 7
+        assert record["flight_recorder"] is None   # nothing went wrong
         assert "wall_s" not in record    # nothing non-deterministic
 
 
@@ -111,7 +113,20 @@ def test_intentional_violation_is_a_failing_cell(tmp_path):
     (record,) = [json.loads(line) for line in
                  (tmp_path / f"{name}-seed7.jsonl").read_text().splitlines()]
     assert record["ok"] is False and record["violations"]
+    assert record["cell_index"] == 0
     assert "INVARIANT VIOLATION" in result.render()
+    assert "[cell 0]" in result.render()
+
+    # the failing cell dumped its flight recorder next to the JSONL, the
+    # record points at it by name, and the render shows the full path
+    assert record["flight_recorder"] == f"{name}-seed7-cell0.flight.jsonl"
+    dump = tmp_path / record["flight_recorder"]
+    assert dump.exists()
+    header = json.loads(dump.read_text().splitlines()[0])
+    assert header["record"] == "flight"
+    assert "no-oversubscription" in header["reason"]
+    assert header["captured"] > 0
+    assert str(dump) in result.render()
 
 
 def test_unknown_scenario_rejected():

@@ -59,6 +59,45 @@ def test_counter_gauge_histogram_basics():
         h.observe(float("nan"))
 
 
+def test_histogram_percentile_edge_cases():
+    h = Histogram("layer.comp.latency_s")
+    # empty: quantiles are None, summary is the zero shape
+    assert h.percentile(0.0) is None and h.percentile(1.0) is None
+    assert h.mean is None
+    assert h.summary() == {"count": 0, "sum": 0.0, "min": None, "max": None,
+                           "p50": None, "p95": None, "p99": None}
+    with pytest.raises(MetricError):
+        h.percentile(1.5)
+    with pytest.raises(MetricError):
+        h.percentile(-0.1)
+    # single sample: every quantile is that sample
+    h.observe(7.0)
+    assert h.percentile(0.0) == 7.0
+    assert h.percentile(0.5) == 7.0
+    assert h.percentile(1.0) == 7.0
+    assert h.summary()["min"] == h.summary()["max"] == 7.0
+    # q=0 clamps to the first rank, q=1 to the last
+    h.observe(1.0)
+    assert h.percentile(0.0) == 1.0
+    assert h.percentile(1.0) == 7.0
+
+
+def test_histogram_quantiles_exact_after_unsorted_merge():
+    """A merged tail arrives in the remote arrival order; quantile reads
+    must re-sort lazily instead of trusting a stale sorted cache."""
+    h = Histogram("layer.comp.latency_s")
+    h.observe(5.0)
+    assert h.percentile(0.5) == 5.0      # builds the sorted cache
+    h.merge((1.0, 9.0, 3.0))             # unsorted tail invalidates it
+    assert h._values == [5.0, 1.0, 9.0, 3.0]
+    assert h.percentile(0.5) == 3.0
+    assert h.percentile(1.0) == 9.0
+    assert h.summary()["min"] == 1.0 and h.summary()["max"] == 9.0
+    assert h.sum == 18.0
+    h.merge(())                          # empty merge: no-op
+    assert h.count == 4
+
+
 def test_metric_name_validation():
     reg = MetricsRegistry()
     for bad in ("flat", "two.segments", "Upper.case.name", "a.b.c-d"):
@@ -116,6 +155,15 @@ def test_prometheus_text_format():
     assert "# TYPE cloud_veem_provisioning_s summary" in text
     assert "cloud_veem_provisioning_s_count 1" in text
     assert 'cloud_veem_provisioning_s{quantile="0.5"} 2' in text
+
+
+def test_prometheus_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.counter("a.b.c", path='C:\\tmp', note='say "hi"\nthere').inc()
+    text = prometheus_text(reg)
+    assert r'path="C:\\tmp"' in text
+    assert r'note="say \"hi\"\nthere"' in text
+    assert "\n\n" not in text            # no raw newline inside a sample
 
 
 # ---------------------------------------------------------------------------

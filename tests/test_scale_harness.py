@@ -147,6 +147,27 @@ def test_sharded_run_matches_oracle_decision_for_decision():
     assert sharded.site_fleets == oracle.site_fleets
 
 
+def test_sharded_metrics_merge_matches_oracle():
+    """Merged worker telemetry must reproduce the single-process registry
+    exactly on the CI smoke shape: every counter total, gauge final and
+    histogram summary in the canonical view, plus the §4.2.3 audit tallies
+    — and the report's RSS must aggregate the worker processes."""
+    cfg = ScaleConfig(sites=4, services=40, hours=0.5, tenants=4,
+                      random_seed=7, procs=2, epoch_s=600.0,
+                      check_invariants=True)
+    sharded, oracle, divergences = verify_against_oracle(cfg)
+    assert divergences == []
+    assert sharded.metrics  # telemetry actually shipped
+    assert sharded.metrics == oracle.metrics
+    assert any(key.startswith("cloud.veem.submitted")
+               for key in sharded.metrics)
+    assert any(key.startswith("control.plane.queue_wait_s")
+               for key in sharded.metrics)
+    assert sharded.audit_findings == oracle.audit_findings
+    assert sharded.audit_violations == oracle.audit_violations
+    assert sharded.peak_rss_kb > read_peak_rss_kb()
+
+
 def test_sharded_rss_aggregates_workers():
     """Peak RSS under --procs > 1 must include the worker processes, so
     it always exceeds a lone coordinator's footprint."""
